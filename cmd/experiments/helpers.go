@@ -1,0 +1,23 @@
+package main
+
+import (
+	"io"
+
+	"hyperplex/internal/core"
+	"hyperplex/internal/dataset"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/mmio"
+	"hyperplex/internal/pajek"
+)
+
+func toHypergraph(m *mmio.Matrix) (*hypergraph.Hypergraph, error) {
+	return mmio.ToHypergraph(m)
+}
+
+func writeNet(w io.Writer, inst *dataset.Instance, mc *core.Result) error {
+	return pajek.WriteNet(w, inst.H, mc.VertexIn, mc.EdgeIn)
+}
+
+func writeClu(w io.Writer, inst *dataset.Instance, mc *core.Result) error {
+	return pajek.WriteClu(w, inst.H, mc.VertexIn, mc.EdgeIn)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = "c1: a b\nc2: b c\n"
+
+func TestRunTextToJSONAndBack(t *testing.T) {
+	var js, errOut bytes.Buffer
+	if err := run([]string{"-from", "text", "-to", "json"}, strings.NewReader(sample), &js, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	if err := run([]string{"-from", "json", "-to", "text"}, bytes.NewReader(js.Bytes()), &txt, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "c1: a b") {
+		t.Errorf("round trip lost structure:\n%s", txt.String())
+	}
+}
+
+func TestRunTextToMtxAndBack(t *testing.T) {
+	var mtx, errOut bytes.Buffer
+	if err := run([]string{"-to", "mtx"}, strings.NewReader(sample), &mtx, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(mtx.String(), "%%MatrixMarket") {
+		t.Fatalf("mtx output:\n%s", mtx.String())
+	}
+	var back bytes.Buffer
+	if err := run([]string{"-from", "mtx", "-to", "text"}, bytes.NewReader(mtx.Bytes()), &back, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "|V|=3 |F|=2 |E|=4") {
+		t.Errorf("status: %s", errOut.String())
+	}
+}
+
+func TestRunToPajek(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-to", "pajek"}, strings.NewReader(sample), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "*Vertices 5") {
+		t.Errorf("pajek output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-from", "nope"}, strings.NewReader(sample), &out, &errOut); err == nil {
+		t.Error("unknown input format accepted")
+	}
+	if err := run([]string{"-to", "nope"}, strings.NewReader(sample), &out, &errOut); err == nil {
+		t.Error("unknown output format accepted")
+	}
+	if err := run(nil, strings.NewReader("bad input"), &out, &errOut); err == nil {
+		t.Error("bad input accepted")
+	}
+	if err := run([]string{"missing.txt"}, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Error("missing file accepted")
+	}
+}

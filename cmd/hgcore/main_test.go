@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// planted has a 3-core {a,b,c,d} plus pendants.
+const planted = "e1: a b c\ne2: a b d\ne3: a c d\ne4: b c d\np1: a x\np2: x y\n"
+
+func TestRunMaxCore(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(planted), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "3-core: 4 vertices, 4 hyperedges") {
+		t.Errorf("unexpected output:\n%s", got)
+	}
+	if !strings.Contains(got, "vertex a") || !strings.Contains(got, "hyperedge e4") {
+		t.Errorf("member listing missing:\n%s", got)
+	}
+}
+
+func TestRunExplicitK(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-k", "2", "-quiet"}, strings.NewReader(planted), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2-core:") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run([]string{"-k", "3", "-quiet"}, strings.NewReader(planted), &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-k", "3", "-parallel", "2", "-quiet"}, strings.NewReader(planted), &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("sequential %q vs parallel %q", seq.String(), par.String())
+	}
+}
+
+func TestRunBiCoreFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-k", "2", "-l", "3", "-quiet"}, strings.NewReader(planted), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2-core: 4 vertices") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunDecompose(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-decompose"}, strings.NewReader(planted), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "maximum core: 3") {
+		t.Errorf("output:\n%s", got)
+	}
+	if !strings.Contains(got, "a\t3") || !strings.Contains(got, "y\t1") {
+		t.Errorf("coreness listing missing:\n%s", got)
+	}
+	if !strings.Contains(got, "3-core: 4 vertices, 4 hyperedges") {
+		t.Errorf("profile missing:\n%s", got)
+	}
+}
+
+func TestRunPajekOutput(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "core")
+	var out bytes.Buffer
+	if err := run([]string{"-quiet", "-pajek", prefix}, strings.NewReader(planted), &out); err != nil {
+		t.Fatal(err)
+	}
+	net, err := os.ReadFile(prefix + ".net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(net), "*Edges") {
+		t.Error(".net missing edges section")
+	}
+	if _, err := os.Stat(prefix + ".clu"); err != nil {
+		t.Error(".clu missing")
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("garbage without colon"), &out); err == nil {
+		t.Error("bad input accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = "c1: hub a\nc2: hub b\nc3: hub c\n"
+
+func TestRunUnweighted(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "cover: 1 vertices") {
+		t.Errorf("output:\n%s", got)
+	}
+	if !strings.Contains(got, "hub") {
+		t.Errorf("hub not listed:\n%s", got)
+	}
+}
+
+func TestRunDegree2Weights(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-weights", "degree2", "-quiet"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cover: 3 vertices") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunMulticover(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-r", "2", "-quiet"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Each pair needs both members: 4 vertices.
+	if !strings.Contains(out.String(), "cover: 4 vertices") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunMulticoverInfeasibleAndSkip(t *testing.T) {
+	in := "single: z\npair: a b\n"
+	var out bytes.Buffer
+	if err := run([]string{"-r", "2", "-quiet"}, strings.NewReader(in), &out); err == nil {
+		t.Error("infeasible multicover accepted")
+	}
+	out.Reset()
+	if err := run([]string{"-r", "2", "-skip-singletons", "-quiet"}, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 hyperedges skipped") {
+		t.Errorf("skip note missing:\n%s", out.String())
+	}
+}
+
+func TestRunReliabilityRequirements(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-reliability", "0.7,0.95", "-skip-singletons", "-quiet"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	// r = 3 capped at size 2: both members of every pair → 4 vertices.
+	if !strings.Contains(out.String(), "cover: 4 vertices") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	if err := run([]string{"-reliability", "nonsense"}, strings.NewReader(sample), &out); err == nil {
+		t.Error("bad -reliability accepted")
+	}
+	if err := run([]string{"-reliability", "2,0.5"}, strings.NewReader(sample), &out); err == nil {
+		t.Error("out-of-range p accepted")
+	}
+}
+
+func TestRunPrimalDualAndExact(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-primal-dual", "-quiet"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dual lower bound") {
+		t.Errorf("certificate missing:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-exact", "-quiet"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cover: 1 vertices, weight 1.00") {
+		t.Errorf("exact output:\n%s", out.String())
+	}
+	// Mode restrictions.
+	if err := run([]string{"-primal-dual", "-r", "2"}, strings.NewReader(sample), &out); err == nil {
+		t.Error("-primal-dual with -r 2 accepted")
+	}
+	if err := run([]string{"-exact", "-r", "2"}, strings.NewReader(sample), &out); err == nil {
+		t.Error("-exact with -r 2 accepted")
+	}
+}
+
+func TestRunBadWeightScheme(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-weights", "zipf"}, strings.NewReader(sample), &out); err == nil {
+		t.Error("unknown weight scheme accepted")
+	}
+}
+
+func TestRunWeightFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.txt")
+	// Make the hub prohibitively expensive.
+	if err := os.WriteFile(path, []byte("# preferences\nhub 100\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-weights", "file:" + path, "-quiet"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cover: 3 vertices, weight 3.00") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	// Error paths.
+	if err := os.WriteFile(path, []byte("ghost 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-weights", "file:" + path}, strings.NewReader(sample), &out); err == nil {
+		t.Error("unknown protein in weight file accepted")
+	}
+	if err := os.WriteFile(path, []byte("hub -1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-weights", "file:" + path}, strings.NewReader(sample), &out); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := run([]string{"-weights", "file:/does/not/exist"}, strings.NewReader(sample), &out); err == nil {
+		t.Error("missing weight file accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Command hggen writes the synthetic datasets to disk.
+//
+// Usage:
+//
+//	hggen -dataset cellzome [-format text|json|pajek] [-o FILE]
+//	hggen -dataset proteome -nv 20000 -ne 3000 -seed 42 [-o FILE]
+//	hggen -dataset random -nv 100 -ne 50 -maxsize 8 -seed 42 [-o FILE]
+//	hggen -dataset matrix -name fdp011 [-short] [-o FILE]   (Matrix Market output)
+//
+// With no -o, output goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"hyperplex/internal/dataset"
+	"hyperplex/internal/gen"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/mmio"
+	"hyperplex/internal/pajek"
+	"hyperplex/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hggen: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hggen", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	ds := fs.String("dataset", "cellzome", "cellzome | proteome | random | matrix")
+	format := fs.String("format", "text", "text | json | pajek (hypergraph datasets)")
+	out := fs.String("o", "", "output file (default stdout)")
+	nv := fs.Int("nv", 100, "random/proteome: number of vertices")
+	ne := fs.Int("ne", 50, "random/proteome: number of hyperedges")
+	maxSize := fs.Int("maxsize", 8, "random: maximum hyperedge size")
+	seed := fs.Uint64("seed", 42, "RNG seed")
+	name := fs.String("name", "bfw398a", "matrix: spec name from Table 1")
+	short := fs.Bool("short", false, "matrix: shrunken dimensions")
+	instanceDir := fs.String("instance", "", "cellzome: write the full instance (hypergraph, baits, annotations, core) to this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *instanceDir != "" {
+		if *ds != "cellzome" {
+			return fmt.Errorf("-instance is only supported for -dataset cellzome")
+		}
+		inst := dataset.Cellzome()
+		if err := inst.Save(*instanceDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "hggen: wrote instance to %s\n", *instanceDir)
+		return nil
+	}
+
+	var w io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *ds {
+	case "cellzome":
+		return writeHypergraph(w, stderr, dataset.Cellzome().H, *format)
+	case "proteome":
+		return writeHypergraph(w, stderr, dataset.SyntheticProteome(*nv, *ne, *seed), *format)
+	case "random":
+		h := gen.RandomHypergraph(*nv, *ne, *maxSize, xrand.New(*seed))
+		return writeHypergraph(w, stderr, h, *format)
+	case "matrix":
+		for _, spec := range gen.Table1Specs(*short) {
+			if spec.Name == *name {
+				return mmio.Write(w, gen.SyntheticMatrix(spec))
+			}
+		}
+		return fmt.Errorf("unknown matrix spec %q; known: bfw398a utm5940 fdp011 stk32 fdpm37", *name)
+	default:
+		return fmt.Errorf("unknown dataset %q", *ds)
+	}
+}
+
+func writeHypergraph(w, stderr io.Writer, h *hypergraph.Hypergraph, format string) error {
+	var err error
+	switch format {
+	case "text":
+		err = hypergraph.WriteText(w, h)
+	case "json":
+		var data []byte
+		data, err = h.MarshalJSON()
+		if err == nil {
+			_, err = w.Write(append(data, '\n'))
+		}
+	case "pajek":
+		err = pajek.WriteNet(w, h, nil, nil)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "hggen: wrote |V|=%d |F|=%d |E|=%d\n", h.NumVertices(), h.NumEdges(), h.NumPins())
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleText = "c1: a b c\nc2: b c d\nc3: e\n"
+
+func TestRunBasic(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(sampleText), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"|V| = 5", "|F| = 3", "|E| = 7", "components: 2"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSmallWorldAndCore(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-smallworld", "-core"}, strings.NewReader(sampleText), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "diameter = 2") {
+		t.Errorf("small-world line missing:\n%s", got)
+	}
+	if !strings.Contains(got, "maximum core:") {
+		t.Errorf("core line missing:\n%s", got)
+	}
+}
+
+func TestRunMtx(t *testing.T) {
+	mtx := "%%MatrixMarket matrix coordinate pattern general\n3 2 3\n1 1\n2 1\n3 2\n"
+	var out bytes.Buffer
+	if err := run([]string{"-mtx"}, strings.NewReader(mtx), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "|V| = 3   |F| = 2") {
+		t.Errorf("mtx stats wrong:\n%s", out.String())
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("not a hypergraph line"), &out); err == nil {
+		t.Error("bad input accepted")
+	}
+	if err := run(nil, strings.NewReader(sampleText), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"missing-file.txt"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunJudge(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-judge"}, strings.NewReader(sampleText), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "vertex degrees:") || !strings.Contains(got, "hyperedge degrees:") {
+		t.Errorf("judge lines missing:\n%s", got)
+	}
+}

@@ -1,0 +1,82 @@
+// Baitselection reproduces the §4 workflow: choose candidate bait
+// proteins for a TAP screen with vertex covers and multicovers, then
+// quantify the reliability gain of double coverage by simulating the
+// experiment at the published 70 % pull-down reproducibility.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperplex"
+	"hyperplex/internal/bio"
+)
+
+func main() {
+	log.SetFlags(0)
+	inst := hyperplex.Cellzome()
+	h := inst.H
+
+	fmt.Printf("dataset: %v\n\n", h)
+
+	// 1. Minimum-cardinality cover: fewest baits that touch every
+	//    complex — but they tend to be promiscuous (high degree).
+	c1, err := hyperplex.GreedyCover(h, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("min-cardinality cover:  %3d baits, avg degree %.2f\n", c1.Size(), c1.AverageDegree(h))
+
+	// 2. Degree²-weighted cover: prefer low-degree baits that pull
+	//    down their complex unambiguously.
+	w := hyperplex.DegreeSquaredWeights(h)
+	c2, err := hyperplex.GreedyCover(h, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("degree²-weighted cover: %3d baits, avg degree %.2f\n", c2.Size(), c2.AverageDegree(h))
+
+	// 3. 2-multicover: every complex is pulled down by two independent
+	//    baits (single-protein complexes cannot be double-covered and
+	//    are excluded, as in the paper).
+	req := hyperplex.UniformRequirement(h, 2)
+	for _, f := range inst.Singletons {
+		req[f] = 0
+	}
+	c3, err := hyperplex.GreedyMulticover(h, w, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2-multicover:           %3d baits, avg degree %.2f\n\n", c3.Size(), c3.AverageDegree(h))
+
+	// 4. Simulate the TAP experiment: how many complexes does each
+	//    bait set actually recover when pull-downs fail 30 % of the
+	//    time?
+	params := bio.DefaultTAPParams()
+	rng := hyperplex.NewRNG(2026)
+	trials := 50
+	fmt.Printf("simulated TAP screens (%d trials, %.0f%% pull-down success):\n", trials, 100*params.PullDownSuccess)
+	for _, set := range []struct {
+		name  string
+		baits []int
+	}{
+		{"weighted cover (r=1)", c2.Vertices},
+		{"2-multicover (r=2)", c3.Vertices},
+		{"Cellzome reported baits", inst.BaitsReported},
+	} {
+		var sum float64
+		min := 1.0
+		for i := 0; i < trials; i++ {
+			o := hyperplex.SimulateTAP(h, set.baits, params, rng)
+			r := o.RecoveryRate()
+			sum += r
+			if r < min {
+				min = r
+			}
+		}
+		fmt.Printf("  %-24s mean recovery %.1f%%, worst trial %.1f%%\n", set.name, 100*sum/float64(trials), 100*min)
+	}
+	fmt.Println("\n→ double coverage buys substantially higher recovery for roughly")
+	fmt.Println("  double the bait count — the quantitative version of the paper's")
+	fmt.Println("  reliability argument.")
+}

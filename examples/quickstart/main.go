@@ -1,0 +1,66 @@
+// Quickstart: build a protein-complex hypergraph by hand, inspect it,
+// compute its maximum core, and choose bait proteins with a weighted
+// vertex cover — the whole public API in one small program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hyperplex"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Build a toy protein-complex hypergraph: proteins are vertices,
+	// complexes are hyperedges.
+	b := hyperplex.NewBuilder()
+	b.AddEdge("ribosome-ish", "RPL1", "RPL2", "RPS1", "NOP1")
+	b.AddEdge("nucleolar", "NOP1", "NOP2", "RPL2", "SIK1")
+	b.AddEdge("polymerase", "RPL1", "NOP1", "NOP2", "POL1")
+	b.AddEdge("chaperone", "HSP1", "HSP2", "RPL1", "NOP2")
+	b.AddEdge("kinase", "CDC1", "HSP1")
+	b.AddEdge("lonely", "ORF1")
+	h, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("hypergraph: %v\n", h)
+	rpl1, _ := h.VertexID("RPL1")
+	fmt.Printf("degree of RPL1: %d complexes\n", h.VertexDegree(rpl1))
+
+	// Connected components and distances under the alternating
+	// vertex–hyperedge path metric.
+	_, _, comps := hyperplex.Components(h)
+	fmt.Printf("components: %d (largest has %d proteins)\n", len(comps), comps[0].Vertices)
+	sw := hyperplex.SmallWorldStats(h, 2)
+	fmt.Printf("diameter %d, average path length %.2f\n", sw.Diameter, sw.AvgPathLength)
+
+	// The maximum core: the densest nucleus of the complex network.
+	mc := hyperplex.MaxCore(h)
+	fmt.Printf("maximum core: %d-core with %d proteins and %d complexes\n", mc.K, mc.NumVertices, mc.NumEdges)
+	for v := range mc.VertexIn {
+		if mc.VertexIn[v] {
+			fmt.Printf("  core protein: %s\n", h.VertexName(v))
+		}
+	}
+
+	// Bait selection: cover every complex, preferring low-degree
+	// proteins (weight = degree²).
+	c, err := hyperplex.GreedyCover(h, hyperplex.DegreeSquaredWeights(h))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bait cover: %d proteins, average degree %.2f\n", c.Size(), c.AverageDegree(h))
+	for _, v := range c.Vertices {
+		fmt.Printf("  bait: %s\n", h.VertexName(v))
+	}
+
+	// Round-trip through the native text format.
+	if err := hyperplex.WriteHypergraph(os.Stdout, h); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module hyperplex
+
+go 1.22

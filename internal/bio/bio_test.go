@@ -1,0 +1,237 @@
+package bio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/xrand"
+)
+
+func smallH(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	b.AddEdge("c1", "a", "b", "c")
+	b.AddEdge("c2", "b", "c", "d")
+	b.AddEdge("c3", "d", "e")
+	return b.MustBuild()
+}
+
+func TestGenomeEssentialFraction(t *testing.T) {
+	f := GenomeEssentialFraction()
+	if math.Abs(f-878.0/4036.0) > 1e-12 {
+		t.Errorf("fraction = %v", f)
+	}
+}
+
+func TestGenerateAnnotationsCoreCounts(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	for i := 0; i < 100; i++ {
+		b.AddVertex(string(rune('A'+i/26)) + string(rune('a'+i%26)))
+	}
+	h := b.MustBuild()
+	coreV := make([]bool, 100)
+	for i := 0; i < 41; i++ {
+		coreV[i] = true
+	}
+	db, err := GenerateAnnotations(h, coreV, DefaultAnnotationParams(), xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	unknown, essential, homolog, homologUnknown := 0, 0, 0, 0
+	for v := 0; v < 41; v++ {
+		if !db.Known[v] {
+			unknown++
+			if db.Homolog[v] {
+				homologUnknown++
+			}
+		}
+		if db.Essential[v] {
+			essential++
+		}
+		if db.Homolog[v] {
+			homolog++
+		}
+	}
+	if unknown != 9 || essential != 22 || homolog != 24 || homologUnknown != 3 {
+		t.Errorf("core counts unknown=%d essential=%d homolog=%d homologUnknown=%d, want 9/22/24/3",
+			unknown, essential, homolog, homologUnknown)
+	}
+}
+
+func TestGenerateAnnotationsErrors(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.AddVertex(string(rune('a' + i)))
+	}
+	h := b.MustBuild()
+	coreV := []bool{true, true, true, false, false}
+	bad := DefaultAnnotationParams() // CoreUnknown 9 > core size 3
+	if _, err := GenerateAnnotations(h, coreV, bad, xrand.New(1)); err == nil {
+		t.Error("oversized CoreUnknown accepted")
+	}
+	p := DefaultAnnotationParams()
+	p.CoreUnknown = 1
+	p.CoreEssential = 3 // > 2 known
+	if _, err := GenerateAnnotations(h, coreV, p, xrand.New(1)); err == nil {
+		t.Error("oversized CoreEssential accepted")
+	}
+}
+
+func TestEnrichmentOf(t *testing.T) {
+	subset := []bool{true, true, true, true, false, false}
+	hit := []bool{true, true, true, false, true, false}
+	e := EnrichmentOf(subset, hit, 0.25, "test")
+	if e.Subset != 4 || e.Hits != 3 {
+		t.Fatalf("subset %d hits %d", e.Subset, e.Hits)
+	}
+	if math.Abs(e.SubsetFrac-0.75) > 1e-12 || math.Abs(e.Fold-3) > 1e-12 {
+		t.Errorf("frac %v fold %v", e.SubsetFrac, e.Fold)
+	}
+	// P(X ≥ 3), X ~ Bin(4, 0.25) = 4·(1/64)(3/4) + 1/256 = 13/256.
+	if math.Abs(e.PValue-13.0/256.0) > 1e-9 {
+		t.Errorf("p-value = %v, want %v", e.PValue, 13.0/256.0)
+	}
+	if e.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestBinomialTailEdges(t *testing.T) {
+	if binomialTail(10, 0, 0.5) != 1 {
+		t.Error("P(X ≥ 0) must be 1")
+	}
+	if binomialTail(10, 3, 0) != 0 {
+		t.Error("p = 0 tail must be 0")
+	}
+	if binomialTail(10, 3, 1) != 1 {
+		t.Error("p = 1 tail must be 1")
+	}
+	// Monotone in k.
+	prev := 1.0
+	for k := 0; k <= 10; k++ {
+		cur := binomialTail(10, k, 0.3)
+		if cur > prev+1e-12 {
+			t.Errorf("tail not monotone at k=%d: %v > %v", k, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestComputeBaitStats(t *testing.T) {
+	h := smallH(t)
+	a, _ := h.VertexID("a") // degree 1
+	b, _ := h.VertexID("b") // degree 2
+	d, _ := h.VertexID("d") // degree 2
+	s := ComputeBaitStats(h, []int{a, b, d})
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.AverageDegree-5.0/3.0) > 1e-12 {
+		t.Errorf("avg degree = %v", s.AverageDegree)
+	}
+	if s.DegreeCounts[1] != 1 || s.DegreeCounts[2] != 2 {
+		t.Errorf("degree counts = %v", s.DegreeCounts)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	empty := ComputeBaitStats(h, nil)
+	if empty.AverageDegree != 0 {
+		t.Error("empty bait set avg != 0")
+	}
+}
+
+func TestSimulateTAPPerfect(t *testing.T) {
+	h := smallH(t)
+	// Perfect reliability and full bait coverage: everything recovered.
+	p := TAPParams{PullDownSuccess: 1, PreyDetection: 1, RecoveryFraction: 1}
+	baits := []int{0, 1, 2, 3, 4}
+	o := SimulateTAP(h, baits, p, xrand.New(1))
+	if o.RecoveredCount() != h.NumEdges() {
+		t.Errorf("recovered %d of %d", o.RecoveredCount(), h.NumEdges())
+	}
+	if o.PullDowns != h.NumPins() {
+		t.Errorf("pulldowns = %d, want %d", o.PullDowns, h.NumPins())
+	}
+	if o.SuccessfulPullDowns != o.PullDowns {
+		t.Error("perfect success rate expected")
+	}
+	if o.RecoveryRate() != 1 {
+		t.Errorf("rate = %v", o.RecoveryRate())
+	}
+}
+
+func TestSimulateTAPZeroSuccess(t *testing.T) {
+	h := smallH(t)
+	p := TAPParams{PullDownSuccess: 0, PreyDetection: 1, RecoveryFraction: 0.5}
+	o := SimulateTAP(h, []int{0, 1, 2, 3, 4}, p, xrand.New(1))
+	if o.RecoveredCount() != 0 || o.SuccessfulPullDowns != 0 {
+		t.Errorf("recovered %d, successes %d; want 0, 0", o.RecoveredCount(), o.SuccessfulPullDowns)
+	}
+}
+
+func TestSimulateTAPNoBaitsNoRecovery(t *testing.T) {
+	h := smallH(t)
+	o := SimulateTAP(h, nil, DefaultTAPParams(), xrand.New(1))
+	if o.RecoveredCount() != 0 || o.PullDowns != 0 {
+		t.Errorf("outcome %v", o)
+	}
+}
+
+func TestPropertyTAPMoreBaitsNeverHurt(t *testing.T) {
+	// With the same RNG stream semantics we cannot compare run-to-run
+	// directly, so check the monotone expectation over repeated trials:
+	// a superset bait set recovers at least as much on average.
+	h := smallH(t)
+	prop := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		small := []int{0}
+		big := []int{0, 1, 2, 3, 4}
+		p := DefaultTAPParams()
+		trials := 30
+		var rs, rb float64
+		for i := 0; i < trials; i++ {
+			rs += SimulateTAP(h, small, p, rng.Split()).RecoveryRate()
+			rb += SimulateTAP(h, big, p, rng.Split()).RecoveryRate()
+		}
+		return rb >= rs-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareReliability(t *testing.T) {
+	h := smallH(t)
+	sets := map[string][]int{
+		"single": {0, 3},
+		"double": {0, 1, 2, 3, 4},
+	}
+	rng := xrand.New(77)
+	trials := CompareReliability(h, sets, DefaultTAPParams(), 50, rng)
+	if len(trials) != 2 {
+		t.Fatalf("trials = %d", len(trials))
+	}
+	// Sorted by name: double before single.
+	if trials[0].Name != "double" || trials[1].Name != "single" {
+		t.Errorf("order: %s, %s", trials[0].Name, trials[1].Name)
+	}
+	if trials[0].MeanRecovery < trials[1].MeanRecovery {
+		t.Errorf("more baits recovered less: %v vs %v", trials[0].MeanRecovery, trials[1].MeanRecovery)
+	}
+	for _, tr := range trials {
+		if tr.MinRecovery > tr.MeanRecovery+1e-9 {
+			t.Errorf("%s: min %v > mean %v", tr.Name, tr.MinRecovery, tr.MeanRecovery)
+		}
+		if tr.MeanPullDowns <= 0 {
+			t.Errorf("%s: no pulldowns", tr.Name)
+		}
+	}
+}
+
+func newTestRNG() *xrand.RNG { return xrand.New(0xb10) }

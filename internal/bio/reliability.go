@@ -1,0 +1,69 @@
+package bio
+
+import (
+	"fmt"
+	"math"
+
+	"hyperplex/internal/hypergraph"
+)
+
+// RequirementsForReliability derives per-complex multicover
+// requirements from a reliability target: if each pull-down
+// independently succeeds with probability p, covering complex f with
+// r_f baits recovers it (at least one successful pull-down) with
+// probability 1 − (1−p)^r_f.  Solving for the target gives
+//
+//	r_f = ⌈ ln(1 − target) / ln(1 − p) ⌉,
+//
+// capped at the complex's cardinality (a complex smaller than the
+// uncapped requirement simply gets every member as a bait).  This
+// turns the paper's qualitative "cover each complex more than once"
+// advice into a principled requirement vector for GreedyMulticover.
+func RequirementsForReliability(h *hypergraph.Hypergraph, pullDownSuccess, target float64) ([]int, error) {
+	if pullDownSuccess <= 0 || pullDownSuccess > 1 {
+		return nil, fmt.Errorf("bio: pull-down success %v outside (0, 1]", pullDownSuccess)
+	}
+	if target < 0 || target >= 1 {
+		return nil, fmt.Errorf("bio: reliability target %v outside [0, 1)", target)
+	}
+	base := 1
+	if pullDownSuccess < 1 && target > 0 {
+		base = int(math.Ceil(math.Log(1-target) / math.Log(1-pullDownSuccess)))
+		if base < 1 {
+			base = 1
+		}
+	}
+	req := make([]int, h.NumEdges())
+	for f := range req {
+		r := base
+		if d := h.EdgeDegree(f); r > d {
+			r = d
+		}
+		req[f] = r
+	}
+	return req, nil
+}
+
+// ExpectedRecovery returns the per-complex probability of at least one
+// successful pull-down given the bait multiplicities induced by a
+// chosen bait set, plus the mean over complexes.  It is the analytic
+// counterpart of SimulateTAP's recovery (ignoring prey-detection
+// noise).
+func ExpectedRecovery(h *hypergraph.Hypergraph, baits []int, pullDownSuccess float64) (perComplex []float64, mean float64) {
+	counts := make([]int, h.NumEdges())
+	for _, b := range baits {
+		for _, f := range h.Edges(b) {
+			counts[f]++
+		}
+	}
+	perComplex = make([]float64, h.NumEdges())
+	total := 0.0
+	for f, c := range counts {
+		perComplex[f] = 1 - math.Pow(1-pullDownSuccess, float64(c))
+		total += perComplex[f]
+	}
+	if len(counts) > 0 {
+		mean = total / float64(len(counts))
+	}
+	return perComplex, mean
+}

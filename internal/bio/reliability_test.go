@@ -1,0 +1,127 @@
+package bio
+
+import (
+	"math"
+	"testing"
+
+	"hyperplex/internal/cover"
+	"hyperplex/internal/hypergraph"
+)
+
+func TestRequirementsForReliability(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddEdge("big", "a", "b", "c", "d", "e")
+	b.AddEdge("pair", "a", "b")
+	b.AddEdge("single", "z")
+	h := b.MustBuild()
+
+	// p = 0.7, target 0.95 → r = ⌈ln(0.05)/ln(0.3)⌉ = ⌈2.49⌉ = 3.
+	req, err := RequirementsForReliability(h, 0.7, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, _ := h.EdgeID("big")
+	pair, _ := h.EdgeID("pair")
+	single, _ := h.EdgeID("single")
+	if req[big] != 3 {
+		t.Errorf("req(big) = %d, want 3", req[big])
+	}
+	if req[pair] != 2 { // capped at cardinality
+		t.Errorf("req(pair) = %d, want 2 (capped)", req[pair])
+	}
+	if req[single] != 1 {
+		t.Errorf("req(single) = %d, want 1 (capped)", req[single])
+	}
+
+	// The requirements are feasible by construction.
+	c, err := cover.GreedyMulticover(h, nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cover.Verify(h, c, req); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequirementsForReliabilityEdgeCases(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddEdge("f", "a", "b", "c")
+	h := b.MustBuild()
+	// Perfect pull-downs: one bait suffices regardless of target.
+	req, err := RequirementsForReliability(h, 1, 0.999)
+	if err != nil || req[0] != 1 {
+		t.Errorf("p=1: req = %v, err = %v", req, err)
+	}
+	// Zero target: minimum coverage.
+	req, err = RequirementsForReliability(h, 0.5, 0)
+	if err != nil || req[0] != 1 {
+		t.Errorf("target=0: req = %v, err = %v", req, err)
+	}
+	if _, err := RequirementsForReliability(h, 0, 0.9); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := RequirementsForReliability(h, 0.5, 1); err == nil {
+		t.Error("target=1 accepted")
+	}
+	if _, err := RequirementsForReliability(h, 1.5, 0.5); err == nil {
+		t.Error("p>1 accepted")
+	}
+}
+
+func TestExpectedRecovery(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddEdge("f1", "a", "b")
+	b.AddEdge("f2", "b", "c")
+	h := b.MustBuild()
+	bID, _ := h.VertexID("b")
+
+	per, mean := ExpectedRecovery(h, []int{bID}, 0.7)
+	// b covers both complexes once each: P = 0.7 for both.
+	if math.Abs(per[0]-0.7) > 1e-12 || math.Abs(per[1]-0.7) > 1e-12 {
+		t.Errorf("per-complex = %v", per)
+	}
+	if math.Abs(mean-0.7) > 1e-12 {
+		t.Errorf("mean = %v", mean)
+	}
+
+	aID, _ := h.VertexID("a")
+	per2, _ := ExpectedRecovery(h, []int{aID, bID}, 0.7)
+	// f1 covered twice: 1 − 0.3² = 0.91.
+	if math.Abs(per2[0]-0.91) > 1e-12 {
+		t.Errorf("double coverage recovery = %v, want 0.91", per2[0])
+	}
+
+	// No baits → zero recovery.
+	_, mean0 := ExpectedRecovery(h, nil, 0.7)
+	if mean0 != 0 {
+		t.Errorf("mean with no baits = %v", mean0)
+	}
+}
+
+func TestExpectedRecoveryAgreesWithSimulation(t *testing.T) {
+	// Analytic complex-touch probability should approximate the
+	// simulated one when prey detection is perfect and the recovery
+	// threshold only needs the bait itself... to keep the comparison
+	// clean, use RecoveryFraction so low that any successful pull-down
+	// recovers the complex.
+	b := hypergraph.NewBuilder()
+	b.AddEdge("f1", "a", "b", "c")
+	b.AddEdge("f2", "b", "d", "e")
+	h := b.MustBuild()
+	bID, _ := h.VertexID("b")
+	baits := []int{bID}
+	p := TAPParams{PullDownSuccess: 0.7, PreyDetection: 1, RecoveryFraction: 0.01}
+
+	rng := newTestRNG()
+	trials := 4000
+	recovered := 0
+	for i := 0; i < trials; i++ {
+		o := SimulateTAP(h, baits, p, rng.Split())
+		recovered += o.RecoveredCount()
+	}
+	simMean := float64(recovered) / float64(trials*h.NumEdges())
+	_, anaMean := ExpectedRecovery(h, baits, 0.7)
+	if math.Abs(simMean-anaMean) > 0.03 {
+		t.Errorf("simulated %v vs analytic %v", simMean, anaMean)
+	}
+}

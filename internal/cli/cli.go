@@ -1,0 +1,54 @@
+// Package cli holds the small helpers shared by the command-line
+// tools in cmd/: input resolution (file vs stdin, text vs Matrix
+// Market) and name formatting.  Keeping them here lets every command's
+// run function be a pure function of (args, stdin, stdout), which the
+// command tests exercise directly.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/mmio"
+)
+
+// ReadHypergraph loads a hypergraph from path (or stdin when path is
+// empty), in the native text format or — when mtx is true — as a
+// Matrix Market file whose columns become hyperedges.
+func ReadHypergraph(mtx bool, path string, stdin io.Reader) (*hypergraph.Hypergraph, error) {
+	var r io.Reader = stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	if mtx {
+		m, err := mmio.Read(r)
+		if err != nil {
+			return nil, err
+		}
+		return mmio.ToHypergraph(m)
+	}
+	return hypergraph.ReadText(r)
+}
+
+// VertexLabel returns the vertex's name, or a stable fallback.
+func VertexLabel(h *hypergraph.Hypergraph, v int) string {
+	if name := h.VertexName(v); name != "" {
+		return name
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// EdgeLabel returns the hyperedge's name, or a stable fallback.
+func EdgeLabel(h *hypergraph.Hypergraph, f int) string {
+	if name := h.EdgeName(f); name != "" {
+		return name
+	}
+	return fmt.Sprintf("f%d", f)
+}

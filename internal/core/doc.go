@@ -1,0 +1,28 @@
+// Package core implements the k-core algorithms of Ramadan, Tarafdar
+// and Pothen (IPPS 2004): the classical linear-time k-core of a graph,
+// and the paper's k-core of a hypergraph.
+//
+// The k-core of a graph G is a maximal subgraph in which every vertex
+// has degree at least k.  The k-core of a hypergraph H is a maximal
+// sub-hypergraph that is *reduced* (no hyperedge contained in another)
+// and in which every vertex belongs to at least k hyperedges.  When a
+// vertex is peeled, a hyperedge it belonged to is deleted as soon as it
+// stops being maximal — including the special case of becoming empty.
+//
+// The hypergraph algorithm follows the paper exactly: non-maximal
+// hyperedges are detected by maintaining pairwise overlap counts
+// (|f ∩ g|) rather than comparing membership lists — a hyperedge f is
+// contained in g precisely when its current degree equals its current
+// overlap with g.  The running time is O(|E|·(Δ₂,F + Δ_V·log Δ₂,F))
+// where |E| is the number of pins and Δ₂,F the maximum number of
+// hyperedges overlapping any single hyperedge.
+//
+// Three implementations are provided:
+//
+//   - KCore / Decomposition: the sequential overlap-count algorithm.
+//   - KCoreNaive: a fixpoint reference that re-scans for containment
+//     each round; used by tests and the maximality ablation benchmark.
+//   - KCoreParallel: a round-synchronous peeling algorithm answering
+//     the paper's call ("for large hypergraphs, a parallel algorithm
+//     will need to be designed").
+package core

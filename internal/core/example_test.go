@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"fmt"
+
+	"hyperplex/internal/core"
+	"hyperplex/internal/graph"
+	"hyperplex/internal/hypergraph"
+)
+
+// ExampleKCore computes the core proteome of a toy complex network.
+func ExampleKCore() {
+	b := hypergraph.NewBuilder()
+	b.AddEdge("c1", "a", "b", "c")
+	b.AddEdge("c2", "a", "b", "d")
+	b.AddEdge("c3", "a", "c", "d")
+	b.AddEdge("c4", "b", "c", "d")
+	b.AddEdge("pendant", "a", "x")
+	h := b.MustBuild()
+
+	r := core.KCore(h, 3)
+	fmt.Printf("%d vertices, %d hyperedges in the 3-core\n", r.NumVertices, r.NumEdges)
+	// Output:
+	// 4 vertices, 4 hyperedges in the 3-core
+}
+
+// ExampleDecompose shows the coreness profile of a small hypergraph.
+func ExampleDecompose() {
+	b := hypergraph.NewBuilder()
+	b.AddEdge("c1", "a", "b", "c")
+	b.AddEdge("c2", "a", "b", "d")
+	b.AddEdge("c3", "a", "c", "d")
+	b.AddEdge("c4", "b", "c", "d")
+	b.AddEdge("p1", "a", "x")
+	b.AddEdge("p2", "x", "y")
+	h := b.MustBuild()
+
+	d := core.Decompose(h)
+	for _, lvl := range d.Profile() {
+		fmt.Printf("%d-core: %d/%d\n", lvl.K, lvl.Vertices, lvl.Edges)
+	}
+	// Output:
+	// 1-core: 6/6
+	// 2-core: 4/4
+	// 3-core: 4/4
+}
+
+// ExampleBiCore filters peeled hyperedges below a minimum size.
+func ExampleBiCore() {
+	b := hypergraph.NewBuilder()
+	b.AddEdge("big1", "a", "b", "c", "d")
+	b.AddEdge("big2", "a", "b", "c", "e")
+	b.AddEdge("big3", "a", "b", "d", "e")
+	b.AddEdge("pair", "a", "x")
+	h := b.MustBuild()
+
+	r := core.BiCore(h, 2, 3)
+	fmt.Printf("(2,3)-core: %d vertices, %d hyperedges\n", r.NumVertices, r.NumEdges)
+	// Output:
+	// (2,3)-core: 5 vertices, 3 hyperedges
+}
+
+// ExampleGraphCoreness reproduces the Figure 2 computation.
+func ExampleGraphCoreness() {
+	// K4 with a pendant path: the maximum core is the 3-core.
+	g := mustGraph()
+	fmt.Println(core.GraphCoreness(g))
+	// Output:
+	// [3 3 3 3 1 1 1]
+}
+
+func mustGraph() *graph.Graph {
+	return graph.MustBuild(7, [][2]int32{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+		{3, 4}, {4, 5}, {0, 6},
+	})
+}

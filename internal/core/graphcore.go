@@ -1,0 +1,100 @@
+package core
+
+import (
+	"hyperplex/internal/graph"
+)
+
+// GraphCoreness computes the coreness of every vertex of g: the largest
+// k such that the vertex belongs to the (non-empty) k-core.  It uses
+// the linear-time bucket peeling algorithm (repeatedly remove a vertex
+// of minimum degree; the highest minimum degree seen is the maximum
+// core), running in O(|V| + |E|).
+func GraphCoreness(g *graph.Graph) []int {
+	n := g.NumVertices()
+	deg := g.Degrees()
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+
+	// Bucket sort vertices by degree: bin[d] is the start of degree-d
+	// vertices inside pos/vert.
+	bin := make([]int, maxDeg+2)
+	for _, d := range deg {
+		bin[d]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		c := bin[d]
+		bin[d] = start
+		start += c
+	}
+	vert := make([]int32, n) // vertices sorted by current degree
+	pos := make([]int, n)    // position of each vertex in vert
+	for v := 0; v < n; v++ {
+		pos[v] = bin[deg[v]]
+		vert[pos[v]] = int32(v)
+		bin[deg[v]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	core := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := int(vert[i])
+		core[v] = deg[v]
+		for _, u32 := range g.Neighbors(v) {
+			u := int(u32)
+			if deg[u] > deg[v] {
+				// Move u one bucket down: swap it with the first vertex
+				// of its current bucket, then shift the bucket boundary.
+				du := deg[u]
+				pu := pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if u != int(w) {
+					vert[pu], vert[pw] = w, int32(u)
+					pos[u], pos[w] = pw, pu
+				}
+				bin[du]++
+				deg[u]--
+			}
+		}
+	}
+	return core
+}
+
+// GraphKCore returns the vertex set of the k-core of g as a boolean
+// membership slice (true = in the k-core).  The k-core may be empty.
+func GraphKCore(g *graph.Graph, k int) []bool {
+	core := GraphCoreness(g)
+	in := make([]bool, len(core))
+	for v, c := range core {
+		in[v] = c >= k
+	}
+	return in
+}
+
+// GraphMaxCore returns the maximum k for which the k-core of g is
+// non-empty, together with the membership slice of that core.  For the
+// empty graph it returns k = 0 and an all-false slice.
+func GraphMaxCore(g *graph.Graph) (k int, in []bool) {
+	core := GraphCoreness(g)
+	for _, c := range core {
+		if c > k {
+			k = c
+		}
+	}
+	in = make([]bool, len(core))
+	if g.NumVertices() == 0 {
+		return 0, in
+	}
+	for v, c := range core {
+		in[v] = c >= k
+	}
+	return k, in
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"hyperplex/internal/hypergraph"
+)
+
+// Result describes a k-core of a hypergraph as membership slices over
+// the ORIGINAL vertex and hyperedge IDs.
+type Result struct {
+	// K is the threshold this core was computed for.
+	K int
+	// VertexIn[v] reports whether vertex v survives in the k-core.
+	VertexIn []bool
+	// EdgeIn[f] reports whether hyperedge f survives in the k-core.
+	EdgeIn []bool
+	// NumVertices and NumEdges count the survivors.
+	NumVertices int
+	NumEdges    int
+}
+
+// Sub materializes the core as a sub-hypergraph of h (with old→new ID
+// maps), for callers that want to keep analyzing it.
+func (r *Result) Sub(h *hypergraph.Hypergraph) (*hypergraph.Hypergraph, map[int]int, map[int]int) {
+	return h.Sub(r.VertexIn, r.EdgeIn)
+}
+
+// Decomposition is the full core decomposition of a hypergraph.
+type Decomposition struct {
+	// VertexCoreness[v] is the largest k such that v is in the k-core
+	// (0 if v is not even in the 1-core).
+	VertexCoreness []int
+	// EdgeCoreness[f] is the largest k such that hyperedge f is in the
+	// k-core (0 if f does not survive reduction of the 1-core).
+	EdgeCoreness []int
+	// MaxK is the maximum k with a non-empty k-core.
+	MaxK int
+}
+
+// Core extracts the k-core recorded in the decomposition.
+func (d *Decomposition) Core(k int) *Result {
+	r := &Result{
+		K:        k,
+		VertexIn: make([]bool, len(d.VertexCoreness)),
+		EdgeIn:   make([]bool, len(d.EdgeCoreness)),
+	}
+	for v, c := range d.VertexCoreness {
+		if c >= k {
+			r.VertexIn[v] = true
+			r.NumVertices++
+		}
+	}
+	for f, c := range d.EdgeCoreness {
+		if c >= k {
+			r.EdgeIn[f] = true
+			r.NumEdges++
+		}
+	}
+	return r
+}
+
+// CoreLevel is one row of a core-decomposition profile: the size of
+// the k-core at each level.
+type CoreLevel struct {
+	K        int
+	Vertices int
+	Edges    int
+}
+
+// Profile returns the k-core sizes for k = 1..MaxK (the number of
+// vertices and hyperedges with coreness ≥ k) — the data behind "core
+// hierarchy" plots.
+func (d *Decomposition) Profile() []CoreLevel {
+	levels := make([]CoreLevel, d.MaxK)
+	for i := range levels {
+		levels[i].K = i + 1
+	}
+	for _, c := range d.VertexCoreness {
+		for k := 1; k <= c && k <= d.MaxK; k++ {
+			levels[k-1].Vertices++
+		}
+	}
+	for _, c := range d.EdgeCoreness {
+		for k := 1; k <= c && k <= d.MaxK; k++ {
+			levels[k-1].Edges++
+		}
+	}
+	return levels
+}
+
+// peeler holds the mutable peeling state of the paper's algorithm
+// (Fig. 4): per-vertex and per-hyperedge current degrees, and the
+// pairwise overlap counts used to detect non-maximal hyperedges
+// without comparing membership lists.
+type peeler struct {
+	h      *hypergraph.Hypergraph
+	k      int
+	vAlive []bool
+	eAlive []bool
+	vDeg   []int
+	eDeg   []int
+	// ov[f] maps each hyperedge g overlapping f to the current overlap
+	// |f ∩ g| among alive vertices.  (The paper uses balanced trees for
+	// these sets; Go maps give the same amortized behaviour.)
+	ov []map[int32]int32
+
+	queue   []int32
+	inQueue []bool
+
+	// minEdgeSize is the l of a (k, l)-core: hyperedges shrinking
+	// below it are deleted.  The plain k-core uses 1 (only empty
+	// hyperedges die for size reasons).
+	minEdgeSize int
+
+	vCore, eCore   []int
+	aliveV, aliveE int
+}
+
+// newPeeler builds the initial state and performs the initial
+// reduction (delete hyperedges contained in another, keeping the
+// lowest-ID copy of duplicates, plus empty hyperedges), since every
+// core of H — including the 0-core — must be a reduced hypergraph.
+func newPeeler(h *hypergraph.Hypergraph) *peeler {
+	nv, ne := h.NumVertices(), h.NumEdges()
+	p := &peeler{
+		h:       h,
+		vAlive:  make([]bool, nv),
+		eAlive:  make([]bool, ne),
+		vDeg:    make([]int, nv),
+		eDeg:    make([]int, ne),
+		ov:      make([]map[int32]int32, ne),
+		inQueue: make([]bool, nv),
+		vCore:   make([]int, nv),
+		eCore:   make([]int, ne),
+		aliveV:  nv,
+		aliveE:  ne,
+
+		minEdgeSize: 1,
+	}
+	for v := 0; v < nv; v++ {
+		p.vAlive[v] = true
+		p.vDeg[v] = h.VertexDegree(v)
+	}
+	// Pre-size the overlap maps with each hyperedge's d₂ (counted with
+	// a stamped scratch pass) so the construction below never rehashes.
+	d2 := make([]int32, ne)
+	stamp := make([]int32, ne)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for f := 0; f < ne; f++ {
+		for _, v := range h.Vertices(f) {
+			for _, g := range h.Edges(int(v)) {
+				if g != int32(f) && stamp[g] != int32(f) {
+					stamp[g] = int32(f)
+					d2[f]++
+				}
+			}
+		}
+	}
+	for f := 0; f < ne; f++ {
+		p.eAlive[f] = true
+		p.eDeg[f] = h.EdgeDegree(f)
+		p.ov[f] = make(map[int32]int32, d2[f])
+	}
+	// Pairwise overlaps in O(Σ_v d(v)²), one pass over vertex
+	// adjacency lists.
+	for v := 0; v < nv; v++ {
+		adj := h.Edges(v)
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				f, g := adj[i], adj[j]
+				p.ov[f][g]++
+				p.ov[g][f]++
+			}
+		}
+	}
+	// Initial reduction.  Collect first, then delete, so that the
+	// containment tests all see the original overlap table.
+	var drop []int
+	for f := 0; f < ne; f++ {
+		if p.eDeg[f] == 0 || p.isNonMaximal(f) {
+			drop = append(drop, f)
+		}
+	}
+	for _, f := range drop {
+		p.deleteEdge(f)
+	}
+	return p
+}
+
+// isNonMaximal reports whether alive hyperedge f is currently contained
+// in another alive hyperedge: some g with |f ∩ g| = d(f) and either
+// d(g) > d(f) (strict containment) or d(g) = d(f) with g < f (the
+// tie-break that keeps exactly one copy of equal hyperedges).
+func (p *peeler) isNonMaximal(f int) bool {
+	df := int32(p.eDeg[f])
+	for g, cnt := range p.ov[f] {
+		if cnt != df {
+			continue
+		}
+		dg := p.eDeg[g]
+		if dg > p.eDeg[f] || (dg == p.eDeg[f] && int(g) < f) {
+			return true
+		}
+	}
+	return false
+}
+
+// deleteEdge removes alive hyperedge f: its alive members lose one
+// degree (and are queued if they drop below k), and f disappears from
+// the overlap sets of its neighbors.  Deleting an edge can never make
+// another edge non-maximal, so no containment re-checks are needed.
+func (p *peeler) deleteEdge(f int) {
+	p.eAlive[f] = false
+	p.eCore[f] = p.k - 1
+	if p.eCore[f] < 0 {
+		p.eCore[f] = 0
+	}
+	p.aliveE--
+	for _, w := range p.h.Vertices(f) {
+		if !p.vAlive[w] {
+			continue
+		}
+		p.vDeg[w]--
+		if p.vDeg[w] < p.k && !p.inQueue[w] {
+			p.inQueue[w] = true
+			p.queue = append(p.queue, w)
+		}
+	}
+	for g := range p.ov[f] {
+		delete(p.ov[g], int32(f))
+	}
+	p.ov[f] = nil
+}
+
+// deleteVertex removes alive vertex v.  Phase one removes v from every
+// alive hyperedge containing it and updates the pairwise overlaps of
+// those hyperedges; phase two then re-checks each shrunk hyperedge for
+// emptiness or non-maximality.  The two phases keep the overlap table
+// consistent while several hyperedges shrink at once.
+func (p *peeler) deleteVertex(v int) {
+	p.vAlive[v] = false
+	p.vCore[v] = p.k - 1
+	if p.vCore[v] < 0 {
+		p.vCore[v] = 0
+	}
+	p.aliveV--
+
+	adj := p.h.Edges(v)
+	live := make([]int32, 0, len(adj))
+	for _, f := range adj {
+		if p.eAlive[f] {
+			live = append(live, f)
+		}
+	}
+	// Phase 1: degrees and overlaps.
+	for _, f := range live {
+		p.eDeg[f]--
+	}
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			f, g := live[i], live[j]
+			if c := p.ov[f][g] - 1; c == 0 {
+				delete(p.ov[f], g)
+				delete(p.ov[g], f)
+			} else {
+				p.ov[f][g] = c
+				p.ov[g][f] = c
+			}
+		}
+	}
+	// Phase 2: a shrunk hyperedge dies when it falls below the minimum
+	// size (empty, for the plain k-core) or stops being maximal.
+	for _, f := range live {
+		if !p.eAlive[f] {
+			continue
+		}
+		if p.eDeg[f] < p.minEdgeSize || p.isNonMaximal(int(f)) {
+			p.deleteEdge(int(f))
+		}
+	}
+}
+
+// peelTo raises the threshold to k and drains the queue: every alive
+// vertex of degree < k is deleted, cascading hyperedge deletions and
+// further vertex deletions until the fixpoint.
+func (p *peeler) peelTo(k int) {
+	p.k = k
+	for v := 0; v < len(p.vAlive); v++ {
+		if p.vAlive[v] && p.vDeg[v] < k && !p.inQueue[v] {
+			p.inQueue[v] = true
+			p.queue = append(p.queue, int32(v))
+		}
+	}
+	for len(p.queue) > 0 {
+		v := p.queue[len(p.queue)-1]
+		p.queue = p.queue[:len(p.queue)-1]
+		p.inQueue[v] = false
+		if p.vAlive[v] {
+			p.deleteVertex(int(v))
+		}
+	}
+}
+
+// result snapshots the current alive sets.
+func (p *peeler) result(k int) *Result {
+	r := &Result{
+		K:           k,
+		VertexIn:    append([]bool(nil), p.vAlive...),
+		EdgeIn:      append([]bool(nil), p.eAlive...),
+		NumVertices: p.aliveV,
+		NumEdges:    p.aliveE,
+	}
+	return r
+}
+
+// KCore computes the k-core of h with the paper's overlap-count
+// algorithm and returns the surviving membership.  k must be ≥ 0; the
+// 0-core is the reduced hypergraph with isolated vertices removed.
+func KCore(h *hypergraph.Hypergraph, k int) *Result {
+	p := newPeeler(h)
+	if k < 1 {
+		// Even the 0-core drops vertices in no hyperedge.
+		p.peelTo(1)
+		// peelTo(1) removes degree-0 vertices *and* degree-<1, which is
+		// the same set; but it also removes vertices of degree 0 only.
+		// For k = 0 we must keep vertices of degree ≥ 1, which peelTo(1)
+		// preserves, so this is exactly the reduced hypergraph.
+		return p.result(0)
+	}
+	p.peelTo(k)
+	return p.result(k)
+}
+
+// Decompose computes the full core decomposition by raising the peeling
+// threshold one level at a time, re-using all peeling state (each
+// vertex is still deleted from each hyperedge at most once across the
+// whole run, so the total work matches a single maximum-core
+// computation).
+func Decompose(h *hypergraph.Hypergraph) *Decomposition {
+	p := newPeeler(h)
+	maxK := 0
+	for k := 1; p.aliveV > 0; k++ {
+		// The (k-1)-core was non-empty; remember it before peeling on.
+		maxK = k - 1
+		p.peelTo(k)
+		if p.aliveV > 0 {
+			maxK = k
+		}
+	}
+	return &Decomposition{
+		VertexCoreness: p.vCore,
+		EdgeCoreness:   p.eCore,
+		MaxK:           maxK,
+	}
+}
+
+// MaxCore returns the maximum core of h: the largest k with a
+// non-empty k-core, and that core's membership.  When even the 1-core
+// is empty it returns the 0-core (the reduced hypergraph with isolated
+// vertices removed), since coreness values cannot distinguish the
+// 0-core at level 0.
+func MaxCore(h *hypergraph.Hypergraph) *Result {
+	d := Decompose(h)
+	if d.MaxK == 0 {
+		return KCore(h, 0)
+	}
+	return d.Core(d.MaxK)
+}

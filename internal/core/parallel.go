@@ -1,0 +1,241 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hyperplex/internal/hypergraph"
+)
+
+// KCoreParallel computes the k-core of h with a round-synchronous
+// parallel peeling algorithm, answering the paper's observation that
+// "for large hypergraphs, a parallel algorithm will need to be
+// designed".  workers ≤ 0 selects runtime.NumCPU().
+//
+// Each round proceeds in three parallel phases over a frontier:
+//
+//  1. every alive vertex whose degree fell below k is retired, and the
+//     hyperedge degrees of its hyperedges are decremented atomically;
+//  2. every hyperedge that shrank is re-checked for emptiness and
+//     maximality (overlap counts are recomputed locally against the
+//     shrunk edge's alive two-hop neighborhood, using per-worker
+//     stamped scratch arrays);
+//  3. every hyperedge that died decrements the degrees of its alive
+//     members atomically, seeding the next round's frontier.
+//
+// The k-core is a confluent fixpoint, so the parallel schedule reaches
+// the same vertex set and the same family of hyperedge member-sets as
+// the sequential algorithm; with the shared (degree, ID) tie-break for
+// equal hyperedges the surviving edge IDs match as well.
+func KCoreParallel(h *hypergraph.Hypergraph, k int, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	nv, ne := h.NumVertices(), h.NumEdges()
+
+	vAlive := make([]atomic.Bool, nv)
+	eAlive := make([]atomic.Bool, ne)
+	vDeg := make([]atomic.Int32, nv)
+	eDeg := make([]atomic.Int32, ne)
+	for v := 0; v < nv; v++ {
+		vAlive[v].Store(true)
+		vDeg[v].Store(int32(h.VertexDegree(v)))
+	}
+	for f := 0; f < ne; f++ {
+		eAlive[f].Store(true)
+		eDeg[f].Store(int32(h.EdgeDegree(f)))
+	}
+
+	minDeg := int32(k)
+	if minDeg < 1 {
+		minDeg = 1 // the 0-core still drops isolated vertices
+	}
+
+	// parallelRange runs fn over [0, n) split into worker chunks.
+	parallelRange := func(n int, fn func(lo, hi, worker int)) {
+		if n == 0 {
+			return
+		}
+		w := workers
+		if w > n {
+			w = n
+		}
+		var wg sync.WaitGroup
+		chunk := (n + w - 1) / w
+		for i := 0; i < w; i++ {
+			lo := i * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi, worker int) {
+				defer wg.Done()
+				fn(lo, hi, worker)
+			}(lo, hi, i)
+		}
+		wg.Wait()
+	}
+
+	// checkEdges re-checks the hyperedges listed in cand (all alive)
+	// for emptiness or non-maximality and returns those that must die.
+	// Per-worker stamp/count scratch arrays make the overlap counting
+	// race-free.
+	stamps := make([][]int32, workers)
+	counts := make([][]int32, workers)
+	seqs := make([]int32, workers) // per-worker monotone stamp counters
+	for i := range stamps {
+		stamps[i] = make([]int32, ne) // zero = "never stamped"; marks start at 1
+		counts[i] = make([]int32, ne)
+	}
+	checkEdges := func(cand []int32) []int32 {
+		dead := make([][]int32, workers)
+		parallelRange(len(cand), func(lo, hi, worker int) {
+			stamp, count := stamps[worker], counts[worker]
+			for i := lo; i < hi; i++ {
+				f := cand[i]
+				df := eDeg[f].Load()
+				if df == 0 {
+					dead[worker] = append(dead[worker], f)
+					continue
+				}
+				// Count overlaps |f ∩ g| over alive vertices/edges.
+				if seqs[worker] == 1<<31-1 {
+					for j := range stamp {
+						stamp[j] = 0
+					}
+					seqs[worker] = 0
+				}
+				seqs[worker]++
+				mark := seqs[worker] // unique per check within this worker's scratch
+				found := false
+				for _, v := range h.Vertices(int(f)) {
+					if !vAlive[v].Load() {
+						continue
+					}
+					for _, g := range h.Edges(int(v)) {
+						if g == f || !eAlive[g].Load() {
+							continue
+						}
+						if stamp[g] != mark {
+							stamp[g] = mark
+							count[g] = 0
+						}
+						count[g]++
+						if count[g] == df {
+							dg := eDeg[g].Load()
+							if dg > df || (dg == df && g < f) {
+								found = true
+							}
+						}
+					}
+					if found {
+						break
+					}
+				}
+				if found {
+					dead[worker] = append(dead[worker], f)
+				}
+			}
+		})
+		var all []int32
+		for _, d := range dead {
+			all = append(all, d...)
+		}
+		return all
+	}
+
+	// Round 0: the initial reduction checks every hyperedge.
+	initial := make([]int32, ne)
+	for f := range initial {
+		initial[f] = int32(f)
+	}
+	round := int32(1)
+	dying := checkEdges(initial)
+
+	shrunkStamp := make([]atomic.Int32, ne)
+	for f := range shrunkStamp {
+		shrunkStamp[f].Store(-1)
+	}
+
+	for {
+		// Phase 3 (and entry): retire dead edges, decrement members.
+		parallelRange(len(dying), func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				f := dying[i]
+				eAlive[f].Store(false)
+				for _, v := range h.Vertices(int(f)) {
+					if vAlive[v].Load() {
+						vDeg[v].Add(-1)
+					}
+				}
+			}
+		})
+
+		// Phase 1: gather the vertex frontier.
+		frontierParts := make([][]int32, workers)
+		parallelRange(nv, func(lo, hi, worker int) {
+			for v := lo; v < hi; v++ {
+				if vAlive[v].Load() && vDeg[v].Load() < minDeg {
+					frontierParts[worker] = append(frontierParts[worker], int32(v))
+				}
+			}
+		})
+		var frontier []int32
+		for _, p := range frontierParts {
+			frontier = append(frontier, p...)
+		}
+		if len(frontier) == 0 && len(dying) == 0 {
+			break
+		}
+		round++
+
+		// Retire frontier vertices and shrink their edges.
+		parallelRange(len(frontier), func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				vAlive[frontier[i]].Store(false)
+			}
+		})
+		shrunkParts := make([][]int32, workers)
+		parallelRange(len(frontier), func(lo, hi, worker int) {
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				for _, f := range h.Edges(int(v)) {
+					if !eAlive[f].Load() {
+						continue
+					}
+					eDeg[f].Add(-1)
+					if shrunkStamp[f].Swap(round) != round {
+						shrunkParts[worker] = append(shrunkParts[worker], f)
+					}
+				}
+			}
+		})
+		var shrunk []int32
+		for _, p := range shrunkParts {
+			shrunk = append(shrunk, p...)
+		}
+
+		// Phase 2: re-check shrunk edges.
+		dying = checkEdges(shrunk)
+	}
+
+	r := &Result{K: k, VertexIn: make([]bool, nv), EdgeIn: make([]bool, ne)}
+	for v := 0; v < nv; v++ {
+		if vAlive[v].Load() {
+			r.VertexIn[v] = true
+			r.NumVertices++
+		}
+	}
+	for f := 0; f < ne; f++ {
+		if eAlive[f].Load() {
+			r.EdgeIn[f] = true
+			r.NumEdges++
+		}
+	}
+	return r
+}

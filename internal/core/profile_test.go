@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hyperplex/internal/hypergraph"
+)
+
+func TestDecompositionProfile(t *testing.T) {
+	h := plantedHypergraph(t)
+	d := Decompose(h)
+	levels := d.Profile()
+	if len(levels) != d.MaxK {
+		t.Fatalf("levels = %d, want %d", len(levels), d.MaxK)
+	}
+	// Level 3 is the planted 3-core: 4 vertices, 4 edges.
+	if levels[2].K != 3 || levels[2].Vertices != 4 || levels[2].Edges != 4 {
+		t.Errorf("level 3 = %+v", levels[2])
+	}
+	// Sizes are non-increasing in k.
+	for i := 1; i < len(levels); i++ {
+		if levels[i].Vertices > levels[i-1].Vertices || levels[i].Edges > levels[i-1].Edges {
+			t.Errorf("profile not monotone: %+v", levels)
+		}
+	}
+}
+
+func TestPropertyProfileMatchesCores(t *testing.T) {
+	prop := func(seed uint64) bool {
+		h := randomHypergraph(seed)
+		d := Decompose(h)
+		for _, lvl := range d.Profile() {
+			r := d.Core(lvl.K)
+			if r.NumVertices != lvl.Vertices || r.NumEdges != lvl.Edges {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKCoreNeedNotBeConnected pins the paper's remark that a k-core
+// can be disconnected: two disjoint planted blocks both survive.
+func TestKCoreNeedNotBeConnected(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	// Block 1 on {a,b,c,d}, block 2 on {p,q,r,s}; each vertex in 3
+	// hyperedges of its block.
+	for _, blk := range [][]string{{"a", "b", "c", "d"}, {"p", "q", "r", "s"}} {
+		b.AddEdge(blk[0]+"1", blk[0], blk[1], blk[2])
+		b.AddEdge(blk[0]+"2", blk[0], blk[1], blk[3])
+		b.AddEdge(blk[0]+"3", blk[0], blk[2], blk[3])
+		b.AddEdge(blk[0]+"4", blk[1], blk[2], blk[3])
+	}
+	h := b.MustBuild()
+	r := KCore(h, 3)
+	if r.NumVertices != 8 || r.NumEdges != 8 {
+		t.Fatalf("3-core = %d/%d, want both blocks (8/8)", r.NumVertices, r.NumEdges)
+	}
+}

@@ -1,0 +1,263 @@
+// Package cover implements minimum-weight vertex covers and multicovers
+// of hypergraphs, used in the paper to select bait proteins for the
+// Cellzome TAP experiments (§4).
+//
+// The main algorithm is the greedy set-cover heuristic of Johnson,
+// Chvátal and Lovász: repeatedly pick the vertex of minimum current
+// cost α(v) = w(v) / |adj(v) ∩ F_i| (its weight spread over the
+// hyperedges it would newly cover) — an H_m = O(log m) approximation.
+// A multicover variant covers each hyperedge f at least r_f times with
+// the same guarantee.  A primal-dual algorithm (named as current work
+// in §4.1 of the paper) provides an alternative with a Δ_F
+// approximation ratio and a per-instance lower-bound certificate.
+package cover
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"hyperplex/internal/hypergraph"
+)
+
+// Cover is the result of a covering algorithm.
+type Cover struct {
+	// Vertices lists the chosen vertex IDs in the order selected.
+	Vertices []int
+	// InCover is the membership form of Vertices.
+	InCover []bool
+	// Weight is the total weight of the chosen vertices.
+	Weight float64
+}
+
+// Size returns the number of chosen vertices.
+func (c *Cover) Size() int { return len(c.Vertices) }
+
+// AverageDegree returns the mean hypergraph degree of the chosen
+// vertices — the paper's figure of merit for bait quality (low-degree
+// baits pull down their complexes less ambiguously).
+func (c *Cover) AverageDegree(h *hypergraph.Hypergraph) float64 {
+	if len(c.Vertices) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range c.Vertices {
+		sum += h.VertexDegree(v)
+	}
+	return float64(sum) / float64(len(c.Vertices))
+}
+
+// UnitWeights returns a weight of 1 for every vertex.
+func UnitWeights(h *hypergraph.Hypergraph) []float64 {
+	w := make([]float64, h.NumVertices())
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// DegreeSquaredWeights returns w(v) = d(v)², the weighting the paper
+// uses to bias the cover toward low-degree bait proteins.  Vertices of
+// degree 0 get weight 1 so the weights stay positive.
+func DegreeSquaredWeights(h *hypergraph.Hypergraph) []float64 {
+	w := make([]float64, h.NumVertices())
+	for v := range w {
+		d := h.VertexDegree(v)
+		if d == 0 {
+			w[v] = 1
+		} else {
+			w[v] = float64(d * d)
+		}
+	}
+	return w
+}
+
+// UniformRequirement returns r_f = r for every hyperedge.
+func UniformRequirement(h *hypergraph.Hypergraph, r int) []int {
+	req := make([]int, h.NumEdges())
+	for i := range req {
+		req[i] = r
+	}
+	return req
+}
+
+// heap of candidate vertices keyed by last-known cost; stale entries
+// are re-costed lazily at pop time (valid because a vertex's cost only
+// increases as hyperedges become covered).
+type costHeap struct {
+	cost []float64
+	v    []int32
+}
+
+func (h *costHeap) Len() int           { return len(h.v) }
+func (h *costHeap) Less(i, j int) bool { return h.cost[i] < h.cost[j] }
+func (h *costHeap) Swap(i, j int) {
+	h.cost[i], h.cost[j] = h.cost[j], h.cost[i]
+	h.v[i], h.v[j] = h.v[j], h.v[i]
+}
+func (h *costHeap) Push(x interface{}) { panic("use pushItem") }
+func (h *costHeap) Pop() interface{}   { panic("use popItem") }
+func (h *costHeap) pushItem(c float64, v int32) {
+	h.cost = append(h.cost, c)
+	h.v = append(h.v, v)
+	heap.Fix(h, h.Len()-1)
+}
+func (h *costHeap) popItem() (float64, int32) {
+	c, v := h.cost[0], h.v[0]
+	n := h.Len() - 1
+	h.Swap(0, n)
+	h.cost = h.cost[:n]
+	h.v = h.v[:n]
+	if n > 0 {
+		heap.Fix(h, 0)
+	}
+	return c, v
+}
+
+// Greedy computes an approximate minimum-weight vertex cover.  weights
+// may be nil for the unweighted (minimum cardinality) problem; all
+// weights must be positive.  It returns an error if some non-empty
+// hyperedge cannot be covered (impossible for valid input) or if a
+// hyperedge is empty.
+func Greedy(h *hypergraph.Hypergraph, weights []float64) (*Cover, error) {
+	return GreedyMulticover(h, weights, nil)
+}
+
+// GreedyMulticover computes an approximate minimum-weight multicover:
+// at least req[f] distinct vertices of every hyperedge f must be
+// chosen.  req may be nil (then every requirement is 1); requirements
+// of 0 mean the hyperedge is ignored.  A hyperedge with req[f] greater
+// than its cardinality is infeasible and yields an error naming it.
+//
+// The implementation follows the paper's greedy rule with a lazy
+// min-heap: α(v) = w(v) / (number of adjacent hyperedges with unmet
+// requirement).  Each pop re-computes the vertex's current cost and
+// re-inserts it if stale, which is sound because costs only increase.
+func GreedyMulticover(h *hypergraph.Hypergraph, weights []float64, req []int) (*Cover, error) {
+	nv, ne := h.NumVertices(), h.NumEdges()
+	if weights == nil {
+		weights = UnitWeights(h)
+	}
+	if len(weights) != nv {
+		return nil, fmt.Errorf("cover: %d weights for %d vertices", len(weights), nv)
+	}
+	for v, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("cover: weight of vertex %d is %v; weights must be positive and finite", v, w)
+		}
+	}
+	remaining := make([]int, ne)
+	unmet := 0
+	for f := 0; f < ne; f++ {
+		r := 1
+		if req != nil {
+			r = req[f]
+		}
+		if r < 0 {
+			return nil, fmt.Errorf("cover: negative requirement %d for hyperedge %d", r, f)
+		}
+		if r > h.EdgeDegree(f) {
+			name := h.EdgeName(f)
+			if name == "" {
+				name = fmt.Sprintf("f%d", f)
+			}
+			return nil, fmt.Errorf("cover: hyperedge %s has %d vertices but requirement %d", name, h.EdgeDegree(f), r)
+		}
+		remaining[f] = r
+		if r > 0 {
+			unmet++
+		}
+	}
+
+	// gain(v) = number of adjacent hyperedges with unmet requirement.
+	gain := func(v int) int {
+		g := 0
+		for _, f := range h.Edges(v) {
+			if remaining[f] > 0 {
+				g++
+			}
+		}
+		return g
+	}
+
+	ch := &costHeap{}
+	lastGain := make([]int, nv)
+	for v := 0; v < nv; v++ {
+		if g := gain(v); g > 0 {
+			lastGain[v] = g
+			ch.pushItem(weights[v]/float64(g), int32(v))
+		}
+	}
+
+	c := &Cover{InCover: make([]bool, nv)}
+	for unmet > 0 {
+		if ch.Len() == 0 {
+			return nil, fmt.Errorf("cover: %d hyperedges remain uncoverable", unmet)
+		}
+		_, v32 := ch.popItem()
+		v := int(v32)
+		if c.InCover[v] {
+			continue
+		}
+		g := gain(v)
+		if g == 0 {
+			continue
+		}
+		if g != lastGain[v] {
+			// Stale entry: re-cost and retry.
+			lastGain[v] = g
+			ch.pushItem(weights[v]/float64(g), v32)
+			continue
+		}
+		c.InCover[v] = true
+		c.Vertices = append(c.Vertices, v)
+		c.Weight += weights[v]
+		for _, f := range h.Edges(v) {
+			if remaining[f] > 0 {
+				remaining[f]--
+				if remaining[f] == 0 {
+					unmet--
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// Verify checks that cover satisfies the (multi)cover requirements on
+// h.  req may be nil for plain covering.  It returns nil on success.
+func Verify(h *hypergraph.Hypergraph, c *Cover, req []int) error {
+	if len(c.InCover) != h.NumVertices() {
+		return fmt.Errorf("cover: InCover has %d entries for %d vertices", len(c.InCover), h.NumVertices())
+	}
+	for f := 0; f < h.NumEdges(); f++ {
+		r := 1
+		if req != nil {
+			r = req[f]
+		}
+		got := 0
+		for _, v := range h.Vertices(f) {
+			if c.InCover[v] {
+				got++
+			}
+		}
+		if got < r {
+			name := h.EdgeName(f)
+			if name == "" {
+				name = fmt.Sprintf("f%d", f)
+			}
+			return fmt.Errorf("cover: hyperedge %s covered %d times, need %d", name, got, r)
+		}
+	}
+	return nil
+}
+
+// HarmonicBound returns H_m = 1 + 1/2 + … + 1/m, the greedy
+// algorithm's approximation ratio for an instance with m hyperedges.
+func HarmonicBound(m int) float64 {
+	s := 0.0
+	for i := 1; i <= m; i++ {
+		s += 1 / float64(i)
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+package cover
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hyperplex/internal/hypergraph"
+)
+
+func TestExactTriangle(t *testing.T) {
+	h := triangleH(t)
+	c, err := Exact(h, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Weight != 2 || len(c.Vertices) != 2 {
+		t.Errorf("exact cover weight %v size %d, want 2, 2", c.Weight, len(c.Vertices))
+	}
+	if err := Verify(h, c, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactWeighted(t *testing.T) {
+	// Star where the hub is expensive: optimum is the two leaves.
+	b := hypergraph.NewBuilder()
+	b.AddEdge("f1", "hub", "a")
+	b.AddEdge("f2", "hub", "b")
+	h := b.MustBuild()
+	w := UnitWeights(h)
+	hub, _ := h.VertexID("hub")
+	w[hub] = 1.5
+	c, err := Exact(h, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Weight-1.5) > 1e-12 || len(c.Vertices) != 1 {
+		t.Errorf("weight %v size %d, want hub at 1.5", c.Weight, len(c.Vertices))
+	}
+	w[hub] = 3
+	c, err = Exact(h, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Weight != 2 || c.InCover[hub] {
+		t.Errorf("weight %v, hub in cover %v; want leaves at 2", c.Weight, c.InCover[hub])
+	}
+}
+
+func TestExactEmptyEdge(t *testing.T) {
+	h, err := hypergraph.FromEdgeSets(2, [][]int32{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exact(h, nil, 0); err == nil {
+		t.Error("Exact accepted an empty hyperedge")
+	}
+}
+
+func TestExactNodeCap(t *testing.T) {
+	// A cap of 1 node cannot prove optimality on a nontrivial instance.
+	h := triangleH(t)
+	if _, err := Exact(h, nil, 1); err == nil {
+		t.Error("Exact with 1-node cap should fail")
+	}
+}
+
+func TestPropertyExactMatchesBruteForce(t *testing.T) {
+	prop := func(seed uint64) bool {
+		h, w := randomCoverInstance(seed)
+		if h.NumVertices() > 14 {
+			return true
+		}
+		c, err := Exact(h, w, 0)
+		if err != nil {
+			return false
+		}
+		if Verify(h, c, nil) != nil {
+			return false
+		}
+		opt := optimalCoverWeight(h, w, nil)
+		return math.Abs(c.Weight-opt) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGreedyWithinHarmonicOfExact(t *testing.T) {
+	prop := func(seed uint64) bool {
+		h, w := randomCoverInstance(seed)
+		g, err := Greedy(h, w)
+		if err != nil {
+			return false
+		}
+		e, err := Exact(h, w, 0)
+		if err != nil {
+			return false
+		}
+		return g.Weight <= e.Weight*HarmonicBound(h.NumEdges())+1e-9 && e.Weight <= g.Weight+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

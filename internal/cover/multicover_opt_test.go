@@ -1,0 +1,66 @@
+package cover
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hyperplex/internal/xrand"
+)
+
+// TestPropertyMulticoverWithinHarmonicOfOptimum checks the H_m
+// guarantee for the multicover variant against the brute-force
+// optimum.
+func TestPropertyMulticoverWithinHarmonicOfOptimum(t *testing.T) {
+	prop := func(seed uint64) bool {
+		h, w := randomCoverInstance(seed)
+		if h.NumVertices() > 12 {
+			return true
+		}
+		rng := xrand.New(seed ^ 0x5555)
+		req := make([]int, h.NumEdges())
+		for f := range req {
+			r := 1 + rng.Intn(2)
+			if r > h.EdgeDegree(f) {
+				r = h.EdgeDegree(f)
+			}
+			req[f] = r
+		}
+		c, err := GreedyMulticover(h, w, req)
+		if err != nil {
+			return false
+		}
+		opt := optimalCoverWeight(h, w, req)
+		return c.Weight <= opt*HarmonicBound(h.NumEdges())+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMulticoverNeverExceedsSumRequirements pins the bound the
+// EXPERIMENTS.md inconsistency note relies on: a multicover picks at
+// most Σ r_f vertices.
+func TestPropertyMulticoverNeverExceedsSumRequirements(t *testing.T) {
+	prop := func(seed uint64) bool {
+		h, w := randomCoverInstance(seed)
+		rng := xrand.New(seed ^ 0xaaaa)
+		req := make([]int, h.NumEdges())
+		sum := 0
+		for f := range req {
+			r := rng.Intn(3)
+			if r > h.EdgeDegree(f) {
+				r = h.EdgeDegree(f)
+			}
+			req[f] = r
+			sum += r
+		}
+		c, err := GreedyMulticover(h, w, req)
+		if err != nil {
+			return false
+		}
+		return c.Size() <= sum
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

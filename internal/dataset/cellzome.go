@@ -1,0 +1,471 @@
+// Package dataset builds the calibrated synthetic instances standing
+// in for the paper's datasets: the Cellzome yeast protein-complex
+// hypergraph (Gavin et al. 2002), the DIP yeast and drosophila
+// protein-interaction graphs, and the Matrix Market suite of Table 1.
+// Every instance is generated deterministically and validated against
+// the published structural targets by the package tests; DESIGN.md
+// documents why each substitution preserves the behaviour the paper
+// measures.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"hyperplex/internal/bio"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/xrand"
+)
+
+// CellzomeTargets records the published numbers the synthetic instance
+// is calibrated to (§2–§4 of the paper).
+type CellzomeTargets struct {
+	Proteins           int     // 1361 proteins in the study
+	Complexes          int     // 232 complexes
+	Components         int     // 33 connected components
+	LargestCompV       int     // 1263 proteins in the largest component
+	LargestCompF       int     // 99 complexes in the largest component
+	DegreeOneProteins  int     // 846 proteins of degree 1
+	MaxProteinDegree   int     // 21 (ADH1)
+	Diameter           int     // 6
+	AvgPathLength      float64 // 2.568
+	PowerLawLogC       float64 // 3.161
+	PowerLawGamma      float64 // 2.528
+	PowerLawR2         float64 // 0.963
+	MaxCoreK           int     // 6
+	MaxCoreProteins    int     // 41
+	MaxCoreComplexes   int     // 54
+	CoreUnknown        int     // 9 of the 41 unknown / unknown function
+	CoreKnownEssential int     // 22 of the 32 known are essential
+	CoreHomologs       int     // 24 of the 41 have reported homologs
+	BaitsUsed          int     // 589 proteins used as baits
+	BaitsReported      int     // 459 baits yielded complexes
+	BaitAvgDegree      float64 // ≈ 1.85
+	BaitsPulledOne     int     // 429
+	BaitsPulledTwo     int     // 26
+	BaitsPulledThree   int     // 4
+	GreedyCoverSize    int     // 109, avg degree ≈ 3.7
+	GreedyCoverAvgDeg  float64
+	WeightedCoverSize  int // 233, avg degree ≈ 1.14
+	WeightedCoverAvgD  float64
+	MulticoverSize     int // 558 covering 229 complexes twice, avg ≈ 1.74
+	MulticoverAvgDeg   float64
+	SingletonComplexes int // 3 complexes of a single protein
+}
+
+// PublishedCellzome returns the targets exactly as printed in the
+// paper.
+func PublishedCellzome() CellzomeTargets {
+	return CellzomeTargets{
+		Proteins: 1361, Complexes: 232, Components: 33,
+		LargestCompV: 1263, LargestCompF: 99,
+		DegreeOneProteins: 846, MaxProteinDegree: 21,
+		Diameter: 6, AvgPathLength: 2.568,
+		PowerLawLogC: 3.161, PowerLawGamma: 2.528, PowerLawR2: 0.963,
+		MaxCoreK: 6, MaxCoreProteins: 41, MaxCoreComplexes: 54,
+		CoreUnknown: 9, CoreKnownEssential: 22, CoreHomologs: 24,
+		BaitsUsed: 589, BaitsReported: 459, BaitAvgDegree: 1.85,
+		BaitsPulledOne: 429, BaitsPulledTwo: 26, BaitsPulledThree: 4,
+		GreedyCoverSize: 109, GreedyCoverAvgDeg: 3.7,
+		WeightedCoverSize: 233, WeightedCoverAvgD: 1.14,
+		MulticoverSize: 558, MulticoverAvgDeg: 1.74,
+		SingletonComplexes: 3,
+	}
+}
+
+// Instance bundles a generated hypergraph with its experiment
+// metadata.
+type Instance struct {
+	H *hypergraph.Hypergraph
+	// CoreV / CoreF mark the planted maximum-core membership.
+	CoreV []bool
+	CoreF []bool
+	// BaitsUsed are the 589 proteins tagged in the (synthetic)
+	// experiment; BaitsReported the 459 whose pull-downs succeeded.
+	BaitsUsed     []int
+	BaitsReported []int
+	// Ann is the synthetic annotation database.
+	Ann *bio.AnnotationDB
+	// Singletons lists the single-protein complexes (excluded from the
+	// 2-multicover, as in the paper).
+	Singletons []int
+	// Published holds the paper's numbers for side-by-side reporting.
+	Published CellzomeTargets
+}
+
+// Structural constants of the synthetic Cellzome instance.  They are
+// solved so that the component/level counts land exactly on the
+// published targets; see the calibration notes in DESIGN.md.
+const (
+	czSeed = 0xCE112073E
+
+	czCoreProteins  = 41
+	czCoreComplexes = 54
+	czGiantComplex  = 99 // complexes in the giant component
+	czNonCore       = czGiantComplex - czCoreComplexes
+
+	czConnD2 = 300 // degree-2 connector proteins (98 glue the spanning tree)
+	czConnD3 = 85
+	czConnD4 = 10
+	czConnD5 = 13
+	czConn   = czConnD2 + czConnD3 + czConnD4 + czConnD5 // 408
+
+	czFresh = 813 // degree-1 giant proteins
+
+	czADH1Degree = 21
+
+	// czChain is the number of trailing non-core complexes that form a
+	// pendant path off the main body (no shortcut connectors reach
+	// them).  It stretches the diameter to the published value: the
+	// densely connected main body alone has protein diameter ≈ 4.
+	czChain = 2
+)
+
+// Cellzome generates the calibrated synthetic instance.  The build is
+// deterministic: every call returns the same hypergraph.
+func Cellzome() *Instance {
+	rng := xrand.New(czSeed)
+	b := hypergraph.NewBuilder()
+
+	// ---- Giant component -------------------------------------------------
+	// Core proteins and complexes.
+	coreP := make([]int, czCoreProteins)
+	for i := range coreP {
+		coreP[i] = b.AddVertex(fmt.Sprintf("YCP%03d", i+1))
+	}
+	adh1 := b.AddVertex("ADH1")
+
+	// Core membership: protein i belongs to coreDeg[i] core complexes.
+	// Most have exactly 6 so that the 7-core collapses.
+	coreDeg := make([]int, czCoreProteins)
+	for i := range coreDeg {
+		switch {
+		case i < 26:
+			coreDeg[i] = 6
+		case i < 36:
+			coreDeg[i] = 7
+		default:
+			coreDeg[i] = 8
+		}
+	}
+	coreMembers := assignCoreMembership(coreDeg, czCoreComplexes, rng)
+
+	// Non-core giant complexes and their protein pools.
+	connectors := make([]int, 0, czConn)
+	addConn := func(n, deg int) []int {
+		out := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			v := b.AddVertex(fmt.Sprintf("YCN%03d-%d", len(connectors)+1, deg))
+			connectors = append(connectors, v)
+			out = append(out, v)
+		}
+		return out
+	}
+	connD2 := addConn(czConnD2, 2)
+	connD3 := addConn(czConnD3, 3)
+	connD4 := addConn(czConnD4, 4)
+	connD5 := addConn(czConnD5, 5)
+
+	fresh := make([]int, czFresh)
+	for i := range fresh {
+		fresh[i] = b.AddVertex(fmt.Sprintf("YFP%04d", i+1))
+	}
+
+	// Membership lists for the 99 giant complexes (index 0..98; the
+	// first czCoreComplexes are the core complexes).
+	giant := make([][]int, czGiantComplex)
+	for f := 0; f < czCoreComplexes; f++ {
+		for _, i := range coreMembers[f] {
+			giant[f] = append(giant[f], coreP[i])
+		}
+	}
+
+	// ADH1 joins 21 of the non-core, non-chain complexes (never the
+	// core, so the 6-core stays exactly the planted 41 proteins).
+	adh1Homes := rng.Perm(czNonCore - czChain)[:czADH1Degree]
+	for _, j := range adh1Homes {
+		giant[czCoreComplexes+j] = append(giant[czCoreComplexes+j], adh1)
+	}
+
+	// Spanning tree over the 99 complexes: complex j (j ≥ 1) shares a
+	// degree-2 connector with an earlier complex.  A uniform random
+	// parent yields a recursive tree of logarithmic depth, which is
+	// what gives the giant component its small-world diameter.
+	conn := 0
+	body := czGiantComplex - czChain // complexes 0..body-1 are the main body
+	for j := 1; j < czGiantComplex; j++ {
+		parent := rng.Intn(j)
+		if j >= body {
+			parent = j - 1 // the pendant chain hangs path-wise off the body
+		} else if parent >= body {
+			parent = rng.Intn(body - 1)
+		}
+		v := connD2[conn]
+		conn++
+		giant[j] = append(giant[j], v)
+		giant[parent] = append(giant[parent], v)
+	}
+	// Remaining connectors take random distinct main-body complexes
+	// (the pendant chain stays shortcut-free).
+	place := func(v, deg int) {
+		perm := rng.Perm(body)
+		for _, f := range perm[:deg] {
+			giant[f] = append(giant[f], v)
+		}
+	}
+	for ; conn < len(connD2); conn++ {
+		place(connD2[conn], 2)
+	}
+	for _, v := range connD3 {
+		place(v, 3)
+	}
+	for _, v := range connD4 {
+		place(v, 4)
+	}
+	for _, v := range connD5 {
+		place(v, 5)
+	}
+
+	// Fresh degree-1 proteins are dealt to complexes by weight; the
+	// first non-core complex is the paper's "nearly hundred proteins"
+	// giant complex.
+	weights := make([]float64, czGiantComplex)
+	totalW := 0.0
+	for f := range weights {
+		switch {
+		case f == czCoreComplexes:
+			weights[f] = 80
+		case f < czCoreComplexes:
+			weights[f] = 4 + rng.Float64()*4
+		default:
+			weights[f] = 5 + rng.Float64()*15
+		}
+		totalW += weights[f]
+	}
+	for _, v := range fresh {
+		x := rng.Float64() * totalW
+		f := 0
+		for f < czGiantComplex-1 {
+			x -= weights[f]
+			if x < 0 {
+				break
+			}
+			f++
+		}
+		giant[f] = append(giant[f], v)
+	}
+
+	for f, members := range giant {
+		names := make([]int32, len(members))
+		for i, v := range members {
+			names[i] = int32(v)
+		}
+		b.AddEdgeIDs(fmt.Sprintf("C%03d", f+1), names)
+	}
+
+	// ---- Satellite components -------------------------------------------
+	// 32 components holding 98 proteins and 133 complexes:
+	//   3 × (1 protein, 1 singleton complex)
+	//  10 × (5 proteins, 10 pair complexes — all pairs)
+	//  14 × (2 proteins, 1 pair complex)
+	//   4 × (3 proteins, 3 pair complexes — a triangle)
+	//   1 × (5 proteins, 4 pair complexes — a path)
+	sat := 0
+	cNum := czGiantComplex
+	newSatP := func() string {
+		sat++
+		return fmt.Sprintf("YSP%03d", sat)
+	}
+	addComplex := func(members ...string) {
+		cNum++
+		b.AddEdge(fmt.Sprintf("C%03d", cNum), members...)
+	}
+	var singletonNames []string
+	for i := 0; i < 3; i++ {
+		p := newSatP()
+		cNum++
+		name := fmt.Sprintf("C%03d", cNum)
+		b.AddEdge(name, p)
+		singletonNames = append(singletonNames, name)
+	}
+	for i := 0; i < 10; i++ {
+		ps := []string{newSatP(), newSatP(), newSatP(), newSatP(), newSatP()}
+		for x := 0; x < 5; x++ {
+			for y := x + 1; y < 5; y++ {
+				addComplex(ps[x], ps[y])
+			}
+		}
+	}
+	for i := 0; i < 14; i++ {
+		addComplex(newSatP(), newSatP())
+	}
+	for i := 0; i < 4; i++ {
+		ps := []string{newSatP(), newSatP(), newSatP()}
+		addComplex(ps[0], ps[1])
+		addComplex(ps[1], ps[2])
+		addComplex(ps[0], ps[2])
+	}
+	{
+		ps := []string{newSatP(), newSatP(), newSatP(), newSatP(), newSatP()}
+		for x := 0; x+1 < 5; x++ {
+			addComplex(ps[x], ps[x+1])
+		}
+	}
+
+	h := b.MustBuild()
+
+	inst := &Instance{H: h, Published: PublishedCellzome()}
+	inst.CoreV = make([]bool, h.NumVertices())
+	for _, v := range coreP {
+		inst.CoreV[v] = true
+	}
+	inst.CoreF = make([]bool, h.NumEdges())
+	for f := 0; f < czCoreComplexes; f++ {
+		inst.CoreF[f] = true
+	}
+	for _, name := range singletonNames {
+		f, _ := h.EdgeID(name)
+		inst.Singletons = append(inst.Singletons, f)
+	}
+
+	inst.selectBaits(rng)
+	ann, err := bio.GenerateAnnotations(h, inst.CoreV, bio.DefaultAnnotationParams(), rng.Split())
+	if err != nil {
+		panic("dataset: Cellzome annotations: " + err.Error())
+	}
+	inst.Ann = ann
+	return inst
+}
+
+// assignCoreMembership deals each core protein i into coreDeg[i]
+// distinct complexes out of nc, then repairs the assignment so that
+// (a) every complex has at least two core members and (b) no
+// complex's core-member set contains another's — the conditions under
+// which the 6-core is exactly the planted block.
+func assignCoreMembership(coreDeg []int, nc int, rng *xrand.RNG) [][]int {
+	members := make([][]int, nc) // complex → core protein indices
+	memberSet := make([]map[int]bool, nc)
+	for f := range memberSet {
+		memberSet[f] = map[int]bool{}
+	}
+	add := func(f, i int) {
+		if !memberSet[f][i] {
+			memberSet[f][i] = true
+			members[f] = append(members[f], i)
+		}
+	}
+	for i, d := range coreDeg {
+		perm := rng.Perm(nc)
+		for _, f := range perm[:d] {
+			add(f, i)
+		}
+	}
+	// Repair (a): tiny complexes borrow the least-loaded proteins.
+	for f := range members {
+		for len(members[f]) < 2 {
+			i := rng.Intn(len(coreDeg))
+			add(f, i)
+		}
+	}
+	// Repair (b): resolve containments by adding a distinguishing
+	// member to the smaller complex.  Iterate to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for f := 0; f < nc; f++ {
+			for g := 0; g < nc; g++ {
+				if f == g || len(members[f]) > len(members[g]) {
+					continue
+				}
+				contained := true
+				for _, i := range members[f] {
+					if !memberSet[g][i] {
+						contained = false
+						break
+					}
+				}
+				if !contained {
+					continue
+				}
+				// Add to f a protein not in g.
+				for attempt := 0; attempt < 1000; attempt++ {
+					i := rng.Intn(len(coreDeg))
+					if !memberSet[g][i] && !memberSet[f][i] {
+						add(f, i)
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	for f := range members {
+		sort.Ints(members[f])
+	}
+	return members
+}
+
+// selectBaits picks the 459 reported baits — one member per complex
+// (so the reported baits form a cover, as the experiment identified
+// every complex from some bait) preferring low-degree members, plus
+// extras — and 130 additional used-but-unproductive baits for the 589
+// total.
+func (inst *Instance) selectBaits(rng *xrand.RNG) {
+	h := inst.H
+	published := inst.Published
+	chosen := make(map[int]bool)
+	// One bait per complex: pick the lowest-degree member not yet
+	// chosen (ties broken randomly) — mirrors that most baits pull
+	// down exactly one complex.
+	for f := 0; f < h.NumEdges(); f++ {
+		best, bestDeg := -1, 1<<30
+		off := rng.Intn(h.EdgeDegree(f))
+		members := h.Vertices(f)
+		for i := range members {
+			v := int(members[(i+off)%len(members)])
+			d := h.VertexDegree(v)
+			if chosen[v] {
+				continue
+			}
+			if d < bestDeg {
+				best, bestDeg = v, d
+			}
+		}
+		if best >= 0 {
+			chosen[best] = true
+		}
+	}
+	// Top up to the reported count with degree-2 proteins (landing the
+	// average degree near the published 1.85 — the covering pass picks
+	// mostly degree-1 members, plus the unavoidable degree-4 members of
+	// the dense satellite components).
+	var candidates []int
+	for v := 0; v < h.NumVertices(); v++ {
+		if !chosen[v] && h.VertexDegree(v) == 2 {
+			candidates = append(candidates, v)
+		}
+	}
+	rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	for _, v := range candidates {
+		if len(chosen) >= published.BaitsReported {
+			break
+		}
+		chosen[v] = true
+	}
+	inst.BaitsReported = make([]int, 0, len(chosen))
+	for v := range chosen {
+		inst.BaitsReported = append(inst.BaitsReported, v)
+	}
+	sort.Ints(inst.BaitsReported)
+
+	// The 589 used baits: the reported ones plus unproductive extras.
+	extra := published.BaitsUsed - len(inst.BaitsReported)
+	inst.BaitsUsed = append([]int(nil), inst.BaitsReported...)
+	for v := 0; v < h.NumVertices() && extra > 0; v++ {
+		if !chosen[v] {
+			inst.BaitsUsed = append(inst.BaitsUsed, v)
+			chosen[v] = true
+			extra--
+		}
+	}
+	sort.Ints(inst.BaitsUsed)
+}

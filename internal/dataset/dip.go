@@ -1,0 +1,48 @@
+package dataset
+
+import (
+	"hyperplex/internal/gen"
+	"hyperplex/internal/graph"
+	"hyperplex/internal/xrand"
+)
+
+// DIPTargets records the published Database of Interacting Proteins
+// results of §3 (circa Nov 2003).
+type DIPTargets struct {
+	Name     string
+	Proteins int
+	MaxCoreK int
+	CoreSize int
+}
+
+// GraphInstance is a protein-interaction graph with its published
+// targets.
+type GraphInstance struct {
+	G         *graph.Graph
+	Published DIPTargets
+}
+
+// DIPYeast returns the synthetic stand-in for the DIP yeast
+// protein-interaction network: 4746 proteins, maximum core k = 10 with
+// 33 proteins.
+func DIPYeast() *GraphInstance {
+	rng := xrand.New(0xD1B)
+	bg := gen.PreferentialAttachment(4746, 3, rng)
+	g := gen.PlantDenseSubgraph(bg, 33, 10, rng)
+	return &GraphInstance{
+		G:         g,
+		Published: DIPTargets{Name: "DIP yeast", Proteins: 4746, MaxCoreK: 10, CoreSize: 33},
+	}
+}
+
+// DIPFly returns the synthetic stand-in for the DIP drosophila
+// network: about 7000 proteins, maximum core k = 8 with 577 proteins.
+func DIPFly() *GraphInstance {
+	rng := xrand.New(0xF17)
+	bg := gen.PreferentialAttachment(7036, 3, rng)
+	g := gen.PlantDenseSubgraph(bg, 577, 8, rng)
+	return &GraphInstance{
+		G:         g,
+		Published: DIPTargets{Name: "DIP drosophila", Proteins: 7036, MaxCoreK: 8, CoreSize: 577},
+	}
+}

@@ -1,0 +1,216 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hyperplex/internal/bio"
+	"hyperplex/internal/hypergraph"
+)
+
+// The on-disk layout of a saved instance:
+//
+//	DIR/hypergraph.txt    native text format
+//	DIR/baits.txt         one protein name per line; reported baits
+//	                      marked with a trailing " *"
+//	DIR/annotations.json  per-protein annotation records
+//	DIR/meta.json         core membership and singleton complexes
+//
+// Everything is name-keyed so the files survive vertex renumbering.
+
+type annotationRecord struct {
+	Known     bool `json:"known"`
+	Essential bool `json:"essential"`
+	Homolog   bool `json:"homolog"`
+}
+
+type metaRecord struct {
+	CoreProteins  []string `json:"coreProteins"`
+	CoreComplexes []string `json:"coreComplexes"`
+	Singletons    []string `json:"singletonComplexes"`
+}
+
+// Save writes the instance to dir (created if needed).
+func (inst *Instance) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	h := inst.H
+	// Hypergraph.
+	hf, err := os.Create(filepath.Join(dir, "hypergraph.txt"))
+	if err != nil {
+		return err
+	}
+	if err := hypergraph.WriteText(hf, h); err != nil {
+		hf.Close()
+		return err
+	}
+	if err := hf.Close(); err != nil {
+		return err
+	}
+	// Baits.
+	bf, err := os.Create(filepath.Join(dir, "baits.txt"))
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(bf)
+	reported := make(map[int]bool, len(inst.BaitsReported))
+	for _, v := range inst.BaitsReported {
+		reported[v] = true
+	}
+	for _, v := range inst.BaitsUsed {
+		mark := ""
+		if reported[v] {
+			mark = " *"
+		}
+		fmt.Fprintf(bw, "%s%s\n", h.VertexName(v), mark)
+	}
+	if err := bw.Flush(); err != nil {
+		bf.Close()
+		return err
+	}
+	if err := bf.Close(); err != nil {
+		return err
+	}
+	// Annotations.
+	ann := make(map[string]annotationRecord, h.NumVertices())
+	for v := 0; v < h.NumVertices(); v++ {
+		ann[h.VertexName(v)] = annotationRecord{
+			Known:     inst.Ann.Known[v],
+			Essential: inst.Ann.Essential[v],
+			Homolog:   inst.Ann.Homolog[v],
+		}
+	}
+	if err := writeJSON(filepath.Join(dir, "annotations.json"), ann); err != nil {
+		return err
+	}
+	// Meta.
+	meta := metaRecord{}
+	for v, in := range inst.CoreV {
+		if in {
+			meta.CoreProteins = append(meta.CoreProteins, h.VertexName(v))
+		}
+	}
+	for f, in := range inst.CoreF {
+		if in {
+			meta.CoreComplexes = append(meta.CoreComplexes, h.EdgeName(f))
+		}
+	}
+	for _, f := range inst.Singletons {
+		meta.Singletons = append(meta.Singletons, h.EdgeName(f))
+	}
+	return writeJSON(filepath.Join(dir, "meta.json"), meta)
+}
+
+func writeJSON(path string, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadInstance reads an instance saved by Save.  The Published targets
+// are re-attached (they are constants of the paper, not data).
+func LoadInstance(dir string) (*Instance, error) {
+	hf, err := os.Open(filepath.Join(dir, "hypergraph.txt"))
+	if err != nil {
+		return nil, err
+	}
+	h, err := hypergraph.ReadText(hf)
+	hf.Close()
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{H: h, Published: PublishedCellzome()}
+
+	// Baits.
+	bf, err := os.Open(filepath.Join(dir, "baits.txt"))
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(bf)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		name, marked := strings.CutSuffix(line, " *")
+		v, ok := h.VertexID(strings.TrimSpace(name))
+		if !ok {
+			bf.Close()
+			return nil, fmt.Errorf("dataset: bait %q not in hypergraph", name)
+		}
+		inst.BaitsUsed = append(inst.BaitsUsed, v)
+		if marked {
+			inst.BaitsReported = append(inst.BaitsReported, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		bf.Close()
+		return nil, err
+	}
+	bf.Close()
+
+	// Annotations.
+	var ann map[string]annotationRecord
+	if err := readJSON(filepath.Join(dir, "annotations.json"), &ann); err != nil {
+		return nil, err
+	}
+	inst.Ann = &bio.AnnotationDB{
+		Known:     make([]bool, h.NumVertices()),
+		Essential: make([]bool, h.NumVertices()),
+		Homolog:   make([]bool, h.NumVertices()),
+	}
+	for name, rec := range ann {
+		v, ok := h.VertexID(name)
+		if !ok {
+			return nil, fmt.Errorf("dataset: annotated protein %q not in hypergraph", name)
+		}
+		inst.Ann.Known[v] = rec.Known
+		inst.Ann.Essential[v] = rec.Essential
+		inst.Ann.Homolog[v] = rec.Homolog
+	}
+
+	// Meta.
+	var meta metaRecord
+	if err := readJSON(filepath.Join(dir, "meta.json"), &meta); err != nil {
+		return nil, err
+	}
+	inst.CoreV = make([]bool, h.NumVertices())
+	for _, name := range meta.CoreProteins {
+		v, ok := h.VertexID(name)
+		if !ok {
+			return nil, fmt.Errorf("dataset: core protein %q not in hypergraph", name)
+		}
+		inst.CoreV[v] = true
+	}
+	inst.CoreF = make([]bool, h.NumEdges())
+	for _, name := range meta.CoreComplexes {
+		f, ok := h.EdgeID(name)
+		if !ok {
+			return nil, fmt.Errorf("dataset: core complex %q not in hypergraph", name)
+		}
+		inst.CoreF[f] = true
+	}
+	for _, name := range meta.Singletons {
+		f, ok := h.EdgeID(name)
+		if !ok {
+			return nil, fmt.Errorf("dataset: singleton complex %q not in hypergraph", name)
+		}
+		inst.Singletons = append(inst.Singletons, f)
+	}
+	return inst, nil
+}
+
+func readJSON(path string, v interface{}) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}

@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hyperplex/internal/core"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	inst := Cellzome()
+	if err := inst.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"hypergraph.txt", "baits.txt", "annotations.json", "meta.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+
+	got, err := LoadInstance(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.H.NumVertices() != inst.H.NumVertices() || got.H.NumEdges() != inst.H.NumEdges() || got.H.NumPins() != inst.H.NumPins() {
+		t.Fatalf("hypergraph shape changed: %v vs %v", got.H, inst.H)
+	}
+	if len(got.BaitsUsed) != len(inst.BaitsUsed) || len(got.BaitsReported) != len(inst.BaitsReported) {
+		t.Errorf("baits: %d/%d vs %d/%d", len(got.BaitsUsed), len(got.BaitsReported), len(inst.BaitsUsed), len(inst.BaitsReported))
+	}
+	// Annotations survive by name.
+	for v := 0; v < inst.H.NumVertices(); v++ {
+		name := inst.H.VertexName(v)
+		gv, ok := got.H.VertexID(name)
+		if !ok {
+			t.Fatalf("protein %q lost", name)
+		}
+		if got.Ann.Known[gv] != inst.Ann.Known[v] ||
+			got.Ann.Essential[gv] != inst.Ann.Essential[v] ||
+			got.Ann.Homolog[gv] != inst.Ann.Homolog[v] {
+			t.Fatalf("annotations for %q changed", name)
+		}
+	}
+	// The loaded core matches a fresh computation.
+	mc := core.MaxCore(got.H)
+	for v := range mc.VertexIn {
+		if mc.VertexIn[v] != got.CoreV[v] {
+			t.Fatalf("loaded CoreV disagrees with computed core at %s", got.H.VertexName(v))
+		}
+	}
+	if len(got.Singletons) != len(inst.Singletons) {
+		t.Errorf("singletons: %d vs %d", len(got.Singletons), len(inst.Singletons))
+	}
+}
+
+func TestLoadInstanceErrors(t *testing.T) {
+	if _, err := LoadInstance(t.TempDir()); err == nil {
+		t.Error("loading an empty directory succeeded")
+	}
+	// Corrupt baits: unknown protein name.
+	dir := t.TempDir()
+	inst := Cellzome()
+	if err := inst.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "baits.txt"), []byte("NOSUCHPROTEIN\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadInstance(dir); err == nil {
+		t.Error("unknown bait accepted")
+	}
+}

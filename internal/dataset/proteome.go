@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"fmt"
+
+	"hyperplex/internal/gen"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/xrand"
+)
+
+// SyntheticProteome generates a protein-complex hypergraph at an
+// arbitrary scale with Cellzome-like shape: power-law protein degrees
+// (γ ≈ 2.5, mostly degree 1), complex sizes spread over a heavy-tailed
+// range, wired by the bipartite configuration model, plus a planted
+// dense block so the maximum core is non-trivial.  This answers the
+// paper's closing motivation — "larger proteomic studies, e.g., ones
+// that scale to the human proteome ... will require high performance
+// algorithms and software" — by supplying inputs at any size for the
+// scaling experiments (X5).
+//
+// nProteins and nComplexes set the scale (the human proteome is
+// roughly 20000 proteins; Cellzome was 1361/232).  The same seed
+// always yields the same hypergraph.
+func SyntheticProteome(nProteins, nComplexes int, seed uint64) *hypergraph.Hypergraph {
+	if nProteins < 100 || nComplexes < 10 {
+		panic("dataset: SyntheticProteome needs at least 100 proteins and 10 complexes")
+	}
+	rng := xrand.New(seed)
+
+	// Planted core block: ~0.5 % of complexes, each over a pool of
+	// core proteins with ≥6 memberships.
+	coreComplexes := nComplexes / 50
+	if coreComplexes < 8 {
+		coreComplexes = 8
+	}
+	coreProteins := coreComplexes * 3 / 4
+	if coreProteins < 12 {
+		coreProteins = 12 // must exceed the largest core-complex size (≤ 10)
+	}
+
+	// Degree sequence for the non-core proteins.
+	rest := nProteins - coreProteins
+	vDeg := gen.PowerLawDegreeSequence(rest, 2.5, 1, 40, rng)
+	sumV := 0
+	for _, d := range vDeg {
+		sumV += d
+	}
+
+	// Complex size sequence for the non-core complexes: heavy-tailed
+	// between 3 and 80, scaled to consume the vertex pins.  The shape
+	// must be feasible: every complex needs ≥ 2 members and no complex
+	// can exceed the protein count.
+	restC := nComplexes - coreComplexes
+	if 2*restC > sumV {
+		panic(fmt.Sprintf("dataset: SyntheticProteome shape infeasible: %d complexes need ≥ %d pins but the degree sequence supplies only %d (too many complexes for too few proteins)",
+			restC, 2*restC, sumV))
+	}
+	eSize := make([]int, restC)
+	sumE := 0
+	for i := range eSize {
+		eSize[i] = 2 + rng.PowerLawInt(2.0, 1, 78)
+		sumE += eSize[i]
+	}
+	// Balance the two sums by trimming or padding the edge sizes.
+	for sumE > sumV {
+		i := rng.Intn(restC)
+		if eSize[i] > 2 {
+			eSize[i]--
+			sumE--
+		}
+	}
+	for sumE < sumV {
+		i := rng.Intn(restC)
+		if eSize[i] < rest {
+			eSize[i]++
+			sumE++
+		}
+	}
+
+	edges, err := gen.BipartiteConfiguration(vDeg, eSize, rng)
+	if err != nil {
+		panic("dataset: SyntheticProteome: " + err.Error())
+	}
+
+	b := hypergraph.NewBuilder()
+	for v := 0; v < rest; v++ {
+		b.AddVertex(fmt.Sprintf("P%06d", v))
+	}
+	corePIDs := make([]int32, coreProteins)
+	for i := range corePIDs {
+		corePIDs[i] = int32(b.AddVertex(fmt.Sprintf("CORE%04d", i)))
+	}
+	for f, members := range edges {
+		b.AddEdgeIDs(fmt.Sprintf("CPLX%05d", f), members)
+	}
+	// Core complexes: 6-10 core proteins each plus a few peripherals.
+	for f := 0; f < coreComplexes; f++ {
+		size := 6 + rng.Intn(5)
+		perm := rng.Perm(coreProteins)
+		members := make([]int32, 0, size+2)
+		for _, i := range perm[:size] {
+			members = append(members, corePIDs[i])
+		}
+		members = append(members, int32(rng.Intn(rest)), int32(rng.Intn(rest)))
+		b.AddEdgeIDs(fmt.Sprintf("CORECPLX%04d", f), members)
+	}
+	return b.MustBuild()
+}

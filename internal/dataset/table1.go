@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"fmt"
+
+	"hyperplex/internal/gen"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/mmio"
+)
+
+// Table1Row is one row of the paper's Table 1: the structural
+// statistics of a hypergraph and its maximum core.
+type Table1Row struct {
+	Name       string
+	NumV       int
+	NumF       int
+	Pins       int // |E|
+	MaxVDeg    int // Δ_V
+	MaxFDeg    int // Δ_F
+	MaxDeg2F   int // Δ₂,F
+	MaxCoreK   int
+	CoreV      int
+	CoreF      int
+	ElapsedSec float64
+}
+
+// Header returns the column header matching the paper's table.
+func Table1Header() string {
+	return fmt.Sprintf("%-10s %8s %8s %9s %5s %5s %7s %8s %8s %8s %9s",
+		"hypergraph", "|V|", "|F|", "|E|", "ΔV", "ΔF", "Δ2,F", "max core", "core|V|", "core|F|", "time")
+}
+
+// Format renders a row.
+func (r Table1Row) Format() string {
+	return fmt.Sprintf("%-10s %8d %8d %9d %5d %5d %7d %8d %8d %8d %8.3fs",
+		r.Name, r.NumV, r.NumF, r.Pins, r.MaxVDeg, r.MaxFDeg, r.MaxDeg2F, r.MaxCoreK, r.CoreV, r.CoreF, r.ElapsedSec)
+}
+
+// Table1Hypergraphs generates the hypergraphs of Table 1: the Cellzome
+// instance followed by the five synthetic Matrix Market stand-ins.
+// short shrinks the matrices for quick runs.
+func Table1Hypergraphs(short bool) (names []string, hs []*hypergraph.Hypergraph) {
+	cz := Cellzome()
+	names = append(names, "Cellzome")
+	hs = append(hs, cz.H)
+	for _, spec := range gen.Table1Specs(short) {
+		m := gen.SyntheticMatrix(spec)
+		h, err := mmio.ToHypergraph(m)
+		if err != nil {
+			panic("dataset: Table1Hypergraphs: " + err.Error())
+		}
+		names = append(names, spec.Name)
+		hs = append(hs, h)
+	}
+	return names, hs
+}

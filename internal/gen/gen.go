@@ -1,0 +1,163 @@
+// Package gen provides the deterministic synthetic-data generators the
+// reproduction uses in place of the paper's datasets (which are not
+// redistributable and unavailable offline): power-law degree
+// sequences, bipartite configuration-model wiring for hypergraphs,
+// preferential-attachment graphs with planted dense subgraphs for the
+// DIP protein-interaction networks, and banded sparse matrices at
+// Matrix Market scales for Table 1.  All generators are driven by
+// xrand.RNG so equal seeds give identical outputs on every platform.
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/xrand"
+)
+
+// PowerLawDegreeSequence samples n degrees from P(d) ∝ d^−gamma on
+// [dmin, dmax], sorted descending.  The paper's protein degree
+// distribution has gamma ≈ 2.5 with degrees 1..21.
+func PowerLawDegreeSequence(n int, gamma float64, dmin, dmax int, rng *xrand.RNG) []int {
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = rng.PowerLawInt(gamma, dmin, dmax)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	return deg
+}
+
+// BipartiteConfiguration wires a hypergraph with the given vertex
+// degree sequence and hyperedge size sequence using the configuration
+// model: vertex pin stubs are shuffled and dealt to hyperedges, then
+// duplicate pins within a hyperedge are repaired by swapping with
+// random stubs elsewhere.  Σ vertexDeg must equal Σ edgeSize.  If a
+// duplicate cannot be repaired after a bounded number of swaps, the
+// duplicate pin is dropped (shrinking that hyperedge by one); this is
+// rare and only occurs for adversarial sequences.
+//
+// The returned edge sets are over vertex IDs 0..len(vertexDeg)-1.
+func BipartiteConfiguration(vertexDeg, edgeSize []int, rng *xrand.RNG) ([][]int32, error) {
+	sumV, sumE := 0, 0
+	for _, d := range vertexDeg {
+		if d < 0 {
+			return nil, fmt.Errorf("gen: negative vertex degree %d", d)
+		}
+		sumV += d
+	}
+	for _, s := range edgeSize {
+		if s < 0 {
+			return nil, fmt.Errorf("gen: negative hyperedge size %d", s)
+		}
+		if s > len(vertexDeg) {
+			return nil, fmt.Errorf("gen: hyperedge size %d exceeds vertex count %d", s, len(vertexDeg))
+		}
+		sumE += s
+	}
+	if sumV != sumE {
+		return nil, fmt.Errorf("gen: degree sums disagree: Σ vertex = %d, Σ edge = %d", sumV, sumE)
+	}
+
+	stubs := make([]int32, 0, sumV)
+	for v, d := range vertexDeg {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	// Deal stubs to edges.
+	offsets := make([]int, len(edgeSize)+1)
+	for f, s := range edgeSize {
+		offsets[f+1] = offsets[f] + s
+	}
+	// Repair duplicates: for edge f spanning stubs[lo:hi], any repeated
+	// vertex is swapped with a random stub outside [lo,hi) such that
+	// neither edge ends up with a duplicate.
+	edges := make([][]int32, len(edgeSize))
+	edgeOf := func(pos int) int {
+		// Binary search for the edge owning stub position pos.
+		return sort.Search(len(offsets)-1, func(f int) bool { return offsets[f+1] > pos })
+	}
+	for f := range edgeSize {
+		lo, hi := offsets[f], offsets[f+1]
+		seen := make(map[int32]int, hi-lo) // vertex → stub position
+		for p := lo; p < hi; p++ {
+			v := stubs[p]
+			if _, dup := seen[v]; !dup {
+				seen[v] = p
+				continue
+			}
+			repaired := false
+			for attempt := 0; attempt < 64; attempt++ {
+				q := rng.Intn(len(stubs))
+				if q >= lo && q < hi {
+					continue
+				}
+				w := stubs[q]
+				if w == v {
+					continue
+				}
+				if _, has := seen[w]; has {
+					continue
+				}
+				// The other edge must not already contain v.
+				g := edgeOf(q)
+				glo, ghi := offsets[g], offsets[g+1]
+				hasV := false
+				for r := glo; r < ghi; r++ {
+					if r != q && stubs[r] == v {
+						hasV = true
+						break
+					}
+				}
+				if hasV {
+					continue
+				}
+				stubs[p], stubs[q] = w, v
+				seen[w] = p
+				repaired = true
+				break
+			}
+			if !repaired {
+				stubs[p] = -1 // drop the duplicate pin
+			}
+		}
+	}
+	for f := range edgeSize {
+		lo, hi := offsets[f], offsets[f+1]
+		for p := lo; p < hi; p++ {
+			if stubs[p] >= 0 {
+				edges[f] = append(edges[f], stubs[p])
+			}
+		}
+	}
+	return edges, nil
+}
+
+// RandomHypergraph generates a hypergraph with nv vertices and ne
+// hyperedges whose sizes are uniform in [1, maxSize] (each hyperedge's
+// members drawn without replacement).
+func RandomHypergraph(nv, ne, maxSize int, rng *xrand.RNG) *hypergraph.Hypergraph {
+	if maxSize > nv {
+		maxSize = nv
+	}
+	edges := make([][]int32, ne)
+	for f := range edges {
+		size := 1 + rng.Intn(maxSize)
+		seen := make(map[int32]bool, size)
+		for len(seen) < size {
+			seen[int32(rng.Intn(nv))] = true
+		}
+		for v := range seen {
+			edges[f] = append(edges[f], v)
+		}
+		sort.Slice(edges[f], func(i, j int) bool { return edges[f][i] < edges[f][j] })
+	}
+	h, err := hypergraph.FromEdgeSets(nv, edges)
+	if err != nil {
+		panic("gen: RandomHypergraph: " + err.Error())
+	}
+	return h
+}

@@ -1,0 +1,98 @@
+package gen
+
+import (
+	"hyperplex/internal/graph"
+	"hyperplex/internal/xrand"
+)
+
+// PreferentialAttachment generates a Barabási–Albert-style power-law
+// graph: starting from a small seed clique, each new vertex attaches m
+// edges to existing vertices chosen proportionally to degree.  The
+// resulting graph has coreness at most m, which makes it the right
+// low-core background into which PlantDenseSubgraph embeds the DIP
+// networks' maximum cores.
+func PreferentialAttachment(n, m int, rng *xrand.RNG) *graph.Graph {
+	if n < m+1 {
+		n = m + 1
+	}
+	var edges [][2]int32
+	// Degree-proportional sampling via a repeated-endpoint list.
+	var endpoints []int32
+	// Seed: clique on m+1 vertices.
+	for i := int32(0); i <= int32(m); i++ {
+		for j := i + 1; j <= int32(m); j++ {
+			edges = append(edges, [2]int32{i, j})
+			endpoints = append(endpoints, i, j)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := make(map[int32]bool, m)
+		for len(chosen) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			chosen[t] = true
+		}
+		for t := range chosen {
+			edges = append(edges, [2]int32{int32(v), t})
+			endpoints = append(endpoints, int32(v), t)
+		}
+	}
+	return graph.MustBuild(n, edges)
+}
+
+// PlantDenseSubgraph returns a graph over g's vertex set in which the
+// last `size` vertex IDs form a planted dense subgraph with internal
+// degree ≥ minInternalDegree.  Background edges incident to planted
+// vertices are removed, and each planted vertex is re-attached to one
+// distinct background vertex instead; this caps every background
+// vertex at one planted neighbor, so the background's coreness cannot
+// be inflated by the planted set.  With minInternalDegree = k greater
+// than the background coreness, the maximum core of the result is
+// exactly the planted vertex set at level k — which is how the
+// synthetic DIP networks pin the published (k, core size) pairs.
+func PlantDenseSubgraph(g *graph.Graph, size, minInternalDegree int, rng *xrand.RNG) *graph.Graph {
+	n := g.NumVertices()
+	if size > n {
+		size = n
+	}
+	base := n - size
+	members := make([]int32, size)
+	for i := range members {
+		members[i] = int32(base + i)
+	}
+	var edges [][2]int32
+	for u := 0; u < base; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v && int(v) < base {
+				edges = append(edges, [2]int32{int32(u), v})
+			}
+		}
+	}
+	// Re-attach each planted vertex to a distinct background vertex.
+	if base > 0 {
+		for i, m := range members {
+			edges = append(edges, [2]int32{m, int32(i % base)})
+		}
+	}
+	// Ring + chords: connect each member to its minInternalDegree
+	// nearest ring neighbors (⌈d/2⌉ on each side), a d-regular-ish
+	// circulant that guarantees internal degree ≥ minInternalDegree.
+	half := (minInternalDegree + 1) / 2
+	for i := 0; i < size; i++ {
+		for o := 1; o <= half; o++ {
+			j := (i + o) % size
+			if i != j {
+				edges = append(edges, [2]int32{members[i], members[j]})
+			}
+		}
+	}
+	// A sprinkle of random internal chords for irregularity.
+	extra := size / 4
+	for i := 0; i < extra; i++ {
+		a := members[rng.Intn(size)]
+		b := members[rng.Intn(size)]
+		if a != b {
+			edges = append(edges, [2]int32{a, b})
+		}
+	}
+	return graph.MustBuild(n, edges)
+}

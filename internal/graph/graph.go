@@ -1,0 +1,229 @@
+// Package graph provides the plain-graph substrate that the paper's
+// baseline models live on: protein-protein interaction graphs obtained
+// by clique or star expansion of a complex, the complex intersection
+// graph, and the bipartite graph B(H) used to draw and traverse a
+// hypergraph.  It also supplies the BFS and connected-component
+// primitives shared by the statistics package.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph in CSR form.  Vertices
+// are dense integer IDs; self-loops and parallel edges are removed at
+// construction.
+type Graph struct {
+	off []int
+	adj []int32
+	m   int // number of undirected edges
+}
+
+// Build constructs a Graph over n vertices from an edge list.  Self
+// loops are dropped and parallel edges deduplicated.  It returns an
+// error if an endpoint is out of range.
+func Build(n int, edges [][2]int32) (*Graph, error) {
+	adjSets := make([][]int32, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			continue
+		}
+		adjSets[u] = append(adjSets[u], v)
+		adjSets[v] = append(adjSets[v], u)
+	}
+	g := &Graph{off: make([]int, n+1)}
+	total := 0
+	for u := range adjSets {
+		s := adjSets[u]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		w := 0
+		for i, v := range s {
+			if i == 0 || s[i-1] != v {
+				s[w] = v
+				w++
+			}
+		}
+		adjSets[u] = s[:w]
+		total += w
+	}
+	g.adj = make([]int32, 0, total)
+	for u := range adjSets {
+		g.off[u] = len(g.adj)
+		g.adj = append(g.adj, adjSets[u]...)
+	}
+	g.off[n] = len(g.adj)
+	g.m = total / 2
+	return g, nil
+}
+
+// MustBuild is Build but panics on error.
+func MustBuild(n int, edges [][2]int32) *Graph {
+	g, err := Build(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.off) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return g.off[v+1] - g.off[v] }
+
+// Neighbors returns the sorted neighbor list of v.  The slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[g.off[v]:g.off[v+1]] }
+
+// HasEdge reports whether {u, v} is an edge, by binary search.
+func (g *Graph) HasEdge(u, v int) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+	return i < len(nb) && nb[i] == int32(v)
+}
+
+// MaxDegree returns the maximum degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Degrees returns a fresh slice of all vertex degrees.
+func (g *Graph) Degrees() []int {
+	d := make([]int, g.NumVertices())
+	for v := range d {
+		d[v] = g.Degree(v)
+	}
+	return d
+}
+
+// BFS runs a breadth-first search from src and returns the distance to
+// every vertex (-1 if unreachable).  dist may be passed in to avoid
+// allocation (it is resized/reset as needed); pass nil to allocate.
+func (g *Graph) BFS(src int, dist []int32) []int32 {
+	n := g.NumVertices()
+	if cap(dist) < n {
+		dist = make([]int32, n)
+	}
+	dist = dist[:n]
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, 64)
+	queue = append(queue, int32(src))
+	dist[src] = 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.Neighbors(int(u)) {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Components labels the connected components of g.  It returns the
+// component ID of every vertex and the number of components.  IDs are
+// assigned in order of the smallest vertex in each component.
+func (g *Graph) Components() (comp []int32, count int) {
+	n := g.NumVertices()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		comp[s] = id
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Neighbors(int(u)) {
+				if comp[v] < 0 {
+					comp[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// Subgraph returns the induced subgraph on the vertices with keep[v]
+// true, plus the old→new vertex ID map.
+func (g *Graph) Subgraph(keep []bool) (*Graph, map[int]int) {
+	vMap := make(map[int]int)
+	for v := 0; v < g.NumVertices(); v++ {
+		if keep[v] {
+			vMap[v] = len(vMap)
+		}
+	}
+	var edges [][2]int32
+	for u := 0; u < g.NumVertices(); u++ {
+		if !keep[u] {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v && keep[v] {
+				edges = append(edges, [2]int32{int32(vMap[u]), int32(vMap[int(v)])})
+			}
+		}
+	}
+	sub, err := Build(len(vMap), edges)
+	if err != nil {
+		panic("graph: Subgraph: " + err.Error())
+	}
+	return sub, vMap
+}
+
+// ClusteringCoefficient returns the average local clustering
+// coefficient over vertices of degree ≥ 2 (vertices of lower degree are
+// excluded, the usual convention).  The paper cites the inflated
+// clustering coefficients of clique expansions [Maslov-Sneppen-Alon];
+// this lets the model-comparison experiment measure that inflation.
+func (g *Graph) ClusteringCoefficient() float64 {
+	n := g.NumVertices()
+	total, counted := 0.0, 0
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(v)
+		d := len(nb)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(int(nb[i]), int(nb[j])) {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / float64(d*(d-1))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

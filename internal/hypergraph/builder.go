@@ -1,0 +1,164 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates hyperedges and produces an immutable Hypergraph.
+// The zero value is ready to use.  Vertices may be added explicitly
+// (AddVertex) to include isolated vertices, or implicitly by naming
+// them in a hyperedge.
+type Builder struct {
+	vertexNames []string
+	vertexIndex map[string]int
+	edges       []edgeUnderConstruction
+}
+
+type edgeUnderConstruction struct {
+	name    string
+	members []int32
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{vertexIndex: make(map[string]int)}
+}
+
+// AddVertex adds (or looks up) a vertex by name and returns its ID.
+func (b *Builder) AddVertex(name string) int {
+	if b.vertexIndex == nil {
+		b.vertexIndex = make(map[string]int)
+	}
+	if v, ok := b.vertexIndex[name]; ok {
+		return v
+	}
+	v := len(b.vertexNames)
+	b.vertexNames = append(b.vertexNames, name)
+	b.vertexIndex[name] = v
+	return v
+}
+
+// AddEdge adds a hyperedge with the given name over the named member
+// vertices, creating vertices as needed, and returns the hyperedge ID.
+// Duplicate member names within one call are collapsed.
+func (b *Builder) AddEdge(name string, members ...string) int {
+	ids := make([]int32, 0, len(members))
+	for _, m := range members {
+		ids = append(ids, int32(b.AddVertex(m)))
+	}
+	return b.AddEdgeIDs(name, ids)
+}
+
+// AddEdgeIDs adds a hyperedge over existing vertex IDs and returns the
+// hyperedge ID.  Duplicate IDs are collapsed; out-of-range IDs panic.
+func (b *Builder) AddEdgeIDs(name string, members []int32) int {
+	ms := append([]int32(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	uniq := ms[:0]
+	for i, v := range ms {
+		if v < 0 || int(v) >= len(b.vertexNames) {
+			panic(fmt.Sprintf("hypergraph: AddEdgeIDs member %d out of range [0,%d)", v, len(b.vertexNames)))
+		}
+		if i == 0 || ms[i-1] != v {
+			uniq = append(uniq, v)
+		}
+	}
+	f := len(b.edges)
+	b.edges = append(b.edges, edgeUnderConstruction{name: name, members: uniq})
+	return f
+}
+
+// NumVertices reports the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.vertexNames) }
+
+// NumEdges reports the number of hyperedges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build produces the immutable Hypergraph.  Hyperedge names must be
+// unique when non-empty; vertex names are unique by construction.
+func (b *Builder) Build() (*Hypergraph, error) {
+	nv := len(b.vertexNames)
+	ne := len(b.edges)
+
+	h := &Hypergraph{
+		vertexNames: append([]string(nil), b.vertexNames...),
+		vertexIndex: make(map[string]int, nv),
+		edgeNames:   make([]string, ne),
+		edgeIndex:   make(map[string]int, ne),
+		vOff:        make([]int, nv+1),
+		eOff:        make([]int, ne+1),
+	}
+	for v, name := range h.vertexNames {
+		h.vertexIndex[name] = v
+	}
+
+	pins := 0
+	for f, e := range b.edges {
+		h.edgeNames[f] = e.name
+		if e.name != "" {
+			if prev, dup := h.edgeIndex[e.name]; dup {
+				return nil, fmt.Errorf("hypergraph: duplicate hyperedge name %q (edges %d and %d)", e.name, prev, f)
+			}
+			h.edgeIndex[e.name] = f
+		}
+		pins += len(e.members)
+	}
+
+	// Edge-side CSR.
+	h.eAdj = make([]int32, 0, pins)
+	for f, e := range b.edges {
+		h.eOff[f] = len(h.eAdj)
+		h.eAdj = append(h.eAdj, e.members...)
+	}
+	h.eOff[ne] = len(h.eAdj)
+
+	// Vertex-side CSR by counting sort over pins; since edges are
+	// appended in increasing f order, each vertex's edge list comes out
+	// sorted.
+	deg := make([]int, nv)
+	for _, v := range h.eAdj {
+		deg[v]++
+	}
+	for v := 0; v < nv; v++ {
+		h.vOff[v+1] = h.vOff[v] + deg[v]
+	}
+	h.vAdj = make([]int32, pins)
+	cursor := append([]int(nil), h.vOff[:nv]...)
+	for f := 0; f < ne; f++ {
+		for _, v := range h.Vertices(f) {
+			h.vAdj[cursor[v]] = int32(f)
+			cursor[v]++
+		}
+	}
+	return h, nil
+}
+
+// MustBuild is Build but panics on error; convenient in tests and
+// generators whose inputs are known valid.
+func (b *Builder) MustBuild() *Hypergraph {
+	h, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// FromEdgeSets builds an unnamed hypergraph over nv vertices directly
+// from a slice of member-ID sets.  Vertices are named "v0", "v1", ...
+// and edges "f0", "f1", ... so that exported files remain readable.
+func FromEdgeSets(nv int, edges [][]int32) (*Hypergraph, error) {
+	b := NewBuilder()
+	for v := 0; v < nv; v++ {
+		b.AddVertex(fmt.Sprintf("v%d", v))
+	}
+	for f, members := range edges {
+		for _, v := range members {
+			if v < 0 || int(v) >= nv {
+				return nil, fmt.Errorf("hypergraph: edge %d member %d out of range [0,%d)", f, v, nv)
+			}
+		}
+		b.AddEdgeIDs(fmt.Sprintf("f%d", f), members)
+	}
+	return b.Build()
+}

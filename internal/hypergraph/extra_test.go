@@ -1,0 +1,120 @@
+package hypergraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderCounters(t *testing.T) {
+	b := NewBuilder()
+	if b.NumVertices() != 0 || b.NumEdges() != 0 {
+		t.Error("fresh builder not empty")
+	}
+	b.AddEdge("e", "a", "b")
+	if b.NumVertices() != 2 || b.NumEdges() != 1 {
+		t.Errorf("counters = %d/%d", b.NumVertices(), b.NumEdges())
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdge("dup", "a")
+	b.AddEdge("dup", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on duplicate names")
+		}
+	}()
+	b.MustBuild()
+}
+
+func TestDegreeSlicesAndEdgeSet(t *testing.T) {
+	h := tiny(t)
+	vd := h.VertexDegrees()
+	if len(vd) != h.NumVertices() {
+		t.Fatalf("VertexDegrees len = %d", len(vd))
+	}
+	sum := 0
+	for _, d := range vd {
+		sum += d
+	}
+	if sum != h.NumPins() {
+		t.Errorf("Σ vertex degrees = %d, want %d", sum, h.NumPins())
+	}
+	ed := h.EdgeDegrees()
+	sum2 := 0
+	for _, d := range ed {
+		sum2 += d
+	}
+	if sum2 != h.NumPins() {
+		t.Errorf("Σ edge degrees = %d, want %d", sum2, h.NumPins())
+	}
+	c1, _ := h.EdgeID("c1")
+	set := h.EdgeSet(c1)
+	if len(set) != 3 {
+		t.Errorf("EdgeSet(c1) = %v", set)
+	}
+	// Mutating the returned slice must not affect the hypergraph.
+	set[0] = 999
+	if h.Vertices(c1)[0] == 999 {
+		t.Error("EdgeSet aliases internal storage")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	h := tiny(t)
+	s := h.String()
+	if !strings.Contains(s, "|V|=6") || !strings.Contains(s, "|F|=5") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestEdgesEqual(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdge("e0", "a", "b")
+	b.AddEdge("e1", "a", "b")
+	b.AddEdge("e2", "a", "c")
+	b.AddEdge("e3", "a", "b", "c")
+	h := b.MustBuild()
+	if !h.EdgesEqual(0, 1) {
+		t.Error("identical edges not equal")
+	}
+	if h.EdgesEqual(0, 2) || h.EdgesEqual(0, 3) {
+		t.Error("different edges reported equal")
+	}
+}
+
+func TestUnnamedFallbacks(t *testing.T) {
+	h, err := FromEdgeSets(2, [][]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FromEdgeSets names everything; exercise the unnamed path via a
+	// struct literal-ish construction: Sub of a hypergraph keeps names,
+	// so instead check names resolve.
+	if h.VertexName(0) != "v0" || h.EdgeName(0) != "f0" {
+		t.Errorf("names = %q/%q", h.VertexName(0), h.EdgeName(0))
+	}
+}
+
+func TestUnmarshalJSONWithoutOrder(t *testing.T) {
+	// Legacy files lacking edgeOrder: edges sorted by name.
+	in := `{"vertices":["a","b"],"edges":{"z":["a"],"m":["a","b"]}}`
+	h, err := UnmarshalJSONHypergraph([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 2 {
+		t.Fatalf("edges = %d", h.NumEdges())
+	}
+	if h.EdgeName(0) != "m" || h.EdgeName(1) != "z" {
+		t.Errorf("order = %q, %q (want sorted)", h.EdgeName(0), h.EdgeName(1))
+	}
+}
+
+func TestUnmarshalJSONBadOrder(t *testing.T) {
+	in := `{"vertices":["a"],"edges":{"e":["a"]},"edgeOrder":["e","ghost"]}`
+	if _, err := UnmarshalJSONHypergraph([]byte(in)); err == nil {
+		t.Error("edgeOrder naming a missing edge accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package hypergraph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hyperplex/internal/xrand"
+)
+
+// randomText produces arbitrary byte soup biased toward the syntax of
+// the text format, to shake out parser panics.
+func randomText(rng *xrand.RNG) string {
+	chars := []byte("abc: #\n\t xyz0189%*\"\\")
+	n := rng.Intn(200)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(chars[rng.Intn(len(chars))])
+	}
+	return sb.String()
+}
+
+func TestReadTextNeverPanics(t *testing.T) {
+	prop := func(seed uint64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := xrand.New(seed)
+		h, err := ReadText(strings.NewReader(randomText(rng)))
+		if err == nil && h.Validate() != nil {
+			return false // parsed successfully but invalid
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalJSONNeverPanics(t *testing.T) {
+	prop := func(seed uint64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := xrand.New(seed)
+		chars := []byte(`{}[]",:abcdef \n01`)
+		n := rng.Intn(150)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(chars[rng.Intn(len(chars))])
+		}
+		h, err := UnmarshalJSONHypergraph([]byte(sb.String()))
+		if err == nil && h.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadTextParsedIsValid(t *testing.T) {
+	// Anything the parser accepts must satisfy the structural
+	// invariants.
+	inputs := []string{
+		"e: a b c\ne2: a\nvertex q\n",
+		"x: y\n# comment\nz: y y y\n",
+		"only: one\n",
+	}
+	for _, in := range inputs {
+		h, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			t.Errorf("ReadText(%q): %v", in, err)
+			continue
+		}
+		if err := h.Validate(); err != nil {
+			t.Errorf("ReadText(%q) produced invalid hypergraph: %v", in, err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package hypergraph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenTextFormat pins the on-disk text format: reading the
+// golden file and writing it back must reproduce it byte-for-byte, so
+// accidental format changes fail loudly instead of silently breaking
+// users' files.
+func TestGoldenTextFormat(t *testing.T) {
+	path := filepath.Join("testdata", "golden.txt")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadText(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := WriteText(&out, h); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("text format drifted.\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+// TestGoldenShape pins the golden file's structure.
+func TestGoldenShape(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h, err := ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 6 || h.NumEdges() != 5 || h.NumPins() != 10 {
+		t.Errorf("golden shape: %v", h)
+	}
+	if _, ok := h.VertexID("z"); !ok {
+		t.Error("isolated vertex z missing")
+	}
+}

@@ -1,0 +1,115 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MapHypergraph is a mutable map-of-sets hypergraph representation.  It
+// exists for two reasons: as the natural intermediate form for
+// incremental editing (delete a vertex, delete a hyperedge) and as the
+// baseline in the storage-layout ablation (BenchmarkAblationStorage*):
+// the CSR Hypergraph is what the paper's space argument calls for, and
+// the benchmarks quantify how much the pointer-heavy representation
+// costs on traversal-dominated algorithms.
+type MapHypergraph struct {
+	// VertexEdges[v] is the set of hyperedges containing v.
+	VertexEdges map[int]map[int]struct{}
+	// EdgeVertices[f] is the member set of hyperedge f.
+	EdgeVertices map[int]map[int]struct{}
+}
+
+// NewMapHypergraph converts a CSR hypergraph into the mutable form.
+// IDs are preserved.
+func NewMapHypergraph(h *Hypergraph) *MapHypergraph {
+	m := &MapHypergraph{
+		VertexEdges:  make(map[int]map[int]struct{}, h.NumVertices()),
+		EdgeVertices: make(map[int]map[int]struct{}, h.NumEdges()),
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		set := make(map[int]struct{}, h.VertexDegree(v))
+		for _, f := range h.Edges(v) {
+			set[int(f)] = struct{}{}
+		}
+		m.VertexEdges[v] = set
+	}
+	for f := 0; f < h.NumEdges(); f++ {
+		set := make(map[int]struct{}, h.EdgeDegree(f))
+		for _, v := range h.Vertices(f) {
+			set[int(v)] = struct{}{}
+		}
+		m.EdgeVertices[f] = set
+	}
+	return m
+}
+
+// NumVertices returns the number of live vertices.
+func (m *MapHypergraph) NumVertices() int { return len(m.VertexEdges) }
+
+// NumEdges returns the number of live hyperedges.
+func (m *MapHypergraph) NumEdges() int { return len(m.EdgeVertices) }
+
+// VertexDegree returns the degree of a live vertex (0 if absent).
+func (m *MapHypergraph) VertexDegree(v int) int { return len(m.VertexEdges[v]) }
+
+// EdgeDegree returns the cardinality of a live hyperedge (0 if absent).
+func (m *MapHypergraph) EdgeDegree(f int) int { return len(m.EdgeVertices[f]) }
+
+// DeleteVertex removes v from every hyperedge containing it and then
+// removes v itself.  Hyperedges are left in place even if they become
+// empty; callers managing reduction semantics handle that.
+func (m *MapHypergraph) DeleteVertex(v int) {
+	for f := range m.VertexEdges[v] {
+		delete(m.EdgeVertices[f], v)
+	}
+	delete(m.VertexEdges, v)
+}
+
+// DeleteEdge removes hyperedge f from the adjacency of its members and
+// then removes f itself.
+func (m *MapHypergraph) DeleteEdge(f int) {
+	for v := range m.EdgeVertices[f] {
+		delete(m.VertexEdges[v], f)
+	}
+	delete(m.EdgeVertices, f)
+}
+
+// EdgeContains reports membership in O(1).
+func (m *MapHypergraph) EdgeContains(f, v int) bool {
+	_, ok := m.EdgeVertices[f][v]
+	return ok
+}
+
+// Build freezes the mutable form back into a CSR Hypergraph, densely
+// renumbered.  The returned maps give old→new IDs.
+func (m *MapHypergraph) Build() (*Hypergraph, map[int]int, map[int]int) {
+	vIDs := make([]int, 0, len(m.VertexEdges))
+	for v := range m.VertexEdges {
+		vIDs = append(vIDs, v)
+	}
+	sort.Ints(vIDs)
+	fIDs := make([]int, 0, len(m.EdgeVertices))
+	for f := range m.EdgeVertices {
+		fIDs = append(fIDs, f)
+	}
+	sort.Ints(fIDs)
+
+	b := NewBuilder()
+	vMap := make(map[int]int, len(vIDs))
+	for _, v := range vIDs {
+		vMap[v] = b.AddVertex(fmt.Sprintf("v%d", v))
+	}
+	fMap := make(map[int]int, len(fIDs))
+	for _, f := range fIDs {
+		members := make([]int32, 0, len(m.EdgeVertices[f]))
+		for v := range m.EdgeVertices[f] {
+			members = append(members, int32(vMap[v]))
+		}
+		fMap[f] = b.AddEdgeIDs(fmt.Sprintf("f%d", f), members)
+	}
+	h, err := b.Build()
+	if err != nil {
+		panic("hypergraph: MapHypergraph.Build: " + err.Error())
+	}
+	return h, vMap, fMap
+}

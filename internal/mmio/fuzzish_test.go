@@ -1,0 +1,42 @@
+package mmio
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hyperplex/internal/xrand"
+)
+
+func TestReadNeverPanics(t *testing.T) {
+	prop := func(seed uint64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := xrand.New(seed)
+		chars := []byte("%MatrixMarket matrix coordinate real general symmetric pattern\n 0123456789.-e")
+		n := rng.Intn(300)
+		var sb strings.Builder
+		// Half the cases start with a plausible header to reach the
+		// body parser.
+		if seed%2 == 0 {
+			sb.WriteString("%%MatrixMarket matrix coordinate real general\n")
+		}
+		for i := 0; i < n; i++ {
+			sb.WriteByte(chars[rng.Intn(len(chars))])
+		}
+		m, err := Read(strings.NewReader(sb.String()))
+		if err == nil {
+			// Whatever parses must convert cleanly.
+			if h, err2 := ToHypergraph(m); err2 != nil || h.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,40 @@
+package mmio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenMatrixMarket pins the interchange behaviour against a file
+// on disk: shape, values and a write/read round trip.
+func TestGoldenMatrixMarket(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden.mtx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 4 || m.NNZ() != 5 {
+		t.Fatalf("golden shape: %dx%d nnz %d", m.Rows, m.Cols, m.NNZ())
+	}
+	if m.Val[1] != -2 {
+		t.Errorf("value[1] = %v", m.Val[1])
+	}
+	var out bytes.Buffer
+	if err := Write(&out, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < m.NNZ(); k++ {
+		if m.RowIdx[k] != m2.RowIdx[k] || m.ColIdx[k] != m2.ColIdx[k] || m.Val[k] != m2.Val[k] {
+			t.Fatalf("round trip entry %d differs", k)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package mmio reads and writes sparse matrices in the NIST Matrix
+// Market coordinate format and converts them to hypergraphs.  Table 1
+// of the paper runs the hypergraph core algorithm on matrices from the
+// Matrix Market collection (math.nist.gov/MatrixMarket); this package
+// supplies the interchange format, and internal/gen synthesizes
+// matrices at the published scales since the originals cannot be
+// downloaded in an offline build.
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hyperplex/internal/hypergraph"
+)
+
+// Matrix is a sparse matrix in coordinate (triplet) form.  Indices are
+// 0-based in memory (the on-disk format is 1-based).  Symmetric input
+// is expanded to general form at read time.
+type Matrix struct {
+	Rows, Cols int
+	// RowIdx[k], ColIdx[k], Val[k] describe the k-th stored entry.
+	RowIdx []int32
+	ColIdx []int32
+	Val    []float64
+	// Pattern records whether the source had no numeric values.
+	Pattern bool
+}
+
+// NNZ returns the number of stored entries.
+func (m *Matrix) NNZ() int { return len(m.RowIdx) }
+
+// Read parses a Matrix Market file.  Supported headers:
+//
+//	%%MatrixMarket matrix coordinate real|integer|pattern general|symmetric
+//
+// Symmetric matrices are expanded (off-diagonal entries mirrored).
+func Read(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mmio: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("mmio: bad header %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("mmio: unsupported storage %q (only coordinate)", header[2])
+	}
+	field, sym := header[3], header[4]
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported field type %q", field)
+	}
+	switch sym {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported symmetry %q", sym)
+	}
+
+	// Skip comments, read the size line.
+	var sizeLine string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		sizeLine = line
+		break
+	}
+	if sizeLine == "" {
+		return nil, fmt.Errorf("mmio: missing size line")
+	}
+	dims := strings.Fields(sizeLine)
+	if len(dims) != 3 {
+		return nil, fmt.Errorf("mmio: bad size line %q", sizeLine)
+	}
+	rows, err1 := strconv.Atoi(dims[0])
+	cols, err2 := strconv.Atoi(dims[1])
+	nnz, err3 := strconv.Atoi(dims[2])
+	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("mmio: bad size line %q", sizeLine)
+	}
+
+	m := &Matrix{
+		Rows:    rows,
+		Cols:    cols,
+		RowIdx:  make([]int32, 0, nnz),
+		ColIdx:  make([]int32, 0, nnz),
+		Val:     make([]float64, 0, nnz),
+		Pattern: field == "pattern",
+	}
+	read := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		wantFields := 3
+		if field == "pattern" {
+			wantFields = 2
+		}
+		if len(fields) < wantFields {
+			return nil, fmt.Errorf("mmio: entry %d malformed: %q", read+1, line)
+		}
+		i, err1 := strconv.Atoi(fields[0])
+		j, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("mmio: entry %d malformed: %q", read+1, line)
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("mmio: entry %d out of range: %q", read+1, line)
+		}
+		v := 1.0
+		if field != "pattern" {
+			var err error
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("mmio: entry %d bad value: %q", read+1, line)
+			}
+		}
+		m.RowIdx = append(m.RowIdx, int32(i-1))
+		m.ColIdx = append(m.ColIdx, int32(j-1))
+		m.Val = append(m.Val, v)
+		if sym == "symmetric" && i != j {
+			m.RowIdx = append(m.RowIdx, int32(j-1))
+			m.ColIdx = append(m.ColIdx, int32(i-1))
+			m.Val = append(m.Val, v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mmio: read: %w", err)
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("mmio: read %d entries, header promised %d", read, nnz)
+	}
+	return m, nil
+}
+
+// Write emits m in general coordinate form (real, or pattern when
+// m.Pattern is set).
+func Write(w io.Writer, m *Matrix) error {
+	bw := bufio.NewWriter(w)
+	field := "real"
+	if m.Pattern {
+		field = "pattern"
+	}
+	fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate %s general\n", field)
+	fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ())
+	for k := 0; k < m.NNZ(); k++ {
+		if m.Pattern {
+			fmt.Fprintf(bw, "%d %d\n", m.RowIdx[k]+1, m.ColIdx[k]+1)
+		} else {
+			fmt.Fprintf(bw, "%d %d %.17g\n", m.RowIdx[k]+1, m.ColIdx[k]+1, m.Val[k])
+		}
+	}
+	return bw.Flush()
+}
+
+// ToHypergraph converts a sparse matrix to the hypergraph used by the
+// paper's Table 1: rows become vertices and columns become hyperedges
+// (a column's hyperedge contains the rows where it has a nonzero).
+// Duplicate entries collapse; empty columns become empty hyperedges and
+// are retained so |F| matches the matrix dimension.
+func ToHypergraph(m *Matrix) (*hypergraph.Hypergraph, error) {
+	cols := make([][]int32, m.Cols)
+	for k := 0; k < m.NNZ(); k++ {
+		j := m.ColIdx[k]
+		cols[j] = append(cols[j], m.RowIdx[k])
+	}
+	return hypergraph.FromEdgeSets(m.Rows, cols)
+}
+
+// FromHypergraph converts a hypergraph back to a pattern matrix
+// (vertices → rows, hyperedges → columns).
+func FromHypergraph(h *hypergraph.Hypergraph) *Matrix {
+	m := &Matrix{Rows: h.NumVertices(), Cols: h.NumEdges(), Pattern: true}
+	for f := 0; f < h.NumEdges(); f++ {
+		for _, v := range h.Vertices(f) {
+			m.RowIdx = append(m.RowIdx, v)
+			m.ColIdx = append(m.ColIdx, int32(f))
+			m.Val = append(m.Val, 1)
+		}
+	}
+	return m
+}

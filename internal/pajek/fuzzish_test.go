@@ -1,0 +1,34 @@
+package pajek
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hyperplex/internal/xrand"
+)
+
+func TestReadNetNeverPanics(t *testing.T) {
+	prop := func(seed uint64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := xrand.New(seed)
+		chars := []byte("*VerticesEdges 0123456789\"\\ \nic Yellow")
+		var sb strings.Builder
+		if seed%2 == 0 {
+			sb.WriteString("*Vertices 3\n")
+		}
+		n := rng.Intn(250)
+		for i := 0; i < n; i++ {
+			sb.WriteByte(chars[rng.Intn(len(chars))])
+		}
+		_, _ = ReadNet(strings.NewReader(sb.String()))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

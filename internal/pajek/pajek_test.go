@@ -1,0 +1,108 @@
+package pajek
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hyperplex/internal/hypergraph"
+)
+
+func sample(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	b.AddEdge("c1", "a", "b")
+	b.AddEdge("c2", "b", "c")
+	return b.MustBuild()
+}
+
+func TestWriteNetAndReadBack(t *testing.T) {
+	h := sample(t)
+	coreV := []bool{false, true, true}
+	coreF := []bool{false, true}
+	var buf bytes.Buffer
+	if err := WriteNet(&buf, h, coreV, coreF); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*Vertices 5") {
+		t.Errorf("missing vertex count header:\n%s", out)
+	}
+	if !strings.Contains(out, ColorProteinCore) || !strings.Contains(out, ColorComplexCore) {
+		t.Error("core colors missing")
+	}
+	info, err := ReadNet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Labels) != 5 {
+		t.Fatalf("labels = %v", info.Labels)
+	}
+	if info.Labels[0] != "a" || info.Labels[3] != "c1" {
+		t.Errorf("labels = %v", info.Labels)
+	}
+	if len(info.Edges) != h.NumPins() {
+		t.Errorf("edges = %d, want %d", len(info.Edges), h.NumPins())
+	}
+	// First pin: a (1) — c1 (4).
+	if info.Edges[0] != [2]int{1, 4} {
+		t.Errorf("first edge = %v", info.Edges[0])
+	}
+}
+
+func TestWriteNetNilCores(t *testing.T) {
+	h := sample(t)
+	var buf bytes.Buffer
+	if err := WriteNet(&buf, h, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, ColorProteinCore) || strings.Contains(out, ColorComplexCore) {
+		t.Error("core colors present without core slices")
+	}
+}
+
+func TestWriteClu(t *testing.T) {
+	h := sample(t)
+	var buf bytes.Buffer
+	if err := WriteClu(&buf, h, []bool{true, false, false}, []bool{false, true}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + 3 proteins + 2 complexes.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %v", lines)
+	}
+	want := []string{"*Vertices 5", "1", "2", "2", "4", "3"}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestReadNetErrors(t *testing.T) {
+	cases := map[string]string{
+		"content before section": "1 \"a\"\n",
+		"bad vertex count":       "*Vertices x\n",
+		"unsupported section":    "*Vertices 1\n1 \"a\"\n*Matrix\n",
+		"vertex out of range":    "*Vertices 1\n2 \"b\"\n",
+		"bad edge":               "*Vertices 1\n1 \"a\"\n*Edges\n1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadNet(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted invalid input", name)
+		}
+	}
+}
+
+func TestReadNetQuotedLabelWithSpace(t *testing.T) {
+	in := "*Vertices 1\n1 \"protein X\" ic Yellow\n*Edges\n"
+	info, err := ReadNet(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Labels[0] != "protein X" {
+		t.Errorf("label = %q", info.Labels[0])
+	}
+}

@@ -1,0 +1,47 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/stats"
+)
+
+// ExampleFitPowerLaw fits the Fig. 1 degree distribution.
+func ExampleFitPowerLaw() {
+	hist := []int{0, 1000, 177, 64, 31} // ≈ 1000·d^−2.5
+	fit, _ := stats.FitPowerLaw(hist)
+	fmt.Printf("gamma = %.1f\n", fit.Gamma)
+	// Output:
+	// gamma = 2.5
+}
+
+// ExampleSmallWorldStats measures diameter and average path length in
+// the paper's alternating-path metric.
+func ExampleSmallWorldStats() {
+	b := hypergraph.NewBuilder()
+	b.AddEdge("f1", "a", "b")
+	b.AddEdge("f2", "b", "c")
+	b.AddEdge("f3", "c", "d")
+	h := b.MustBuild()
+
+	sw := stats.SmallWorldStats(h, 1)
+	fmt.Printf("diameter %d, average %.2f\n", sw.Diameter, sw.AvgPathLength)
+	// Output:
+	// diameter 3, average 1.67
+}
+
+// ExampleShortestPath extracts an alternating vertex–hyperedge path.
+func ExampleShortestPath() {
+	b := hypergraph.NewBuilder()
+	b.AddEdge("f1", "a", "b")
+	b.AddEdge("f2", "b", "c")
+	h := b.MustBuild()
+
+	a, _ := h.VertexID("a")
+	c, _ := h.VertexID("c")
+	p, _ := stats.ShortestPath(h, a, c)
+	fmt.Println(p.Format(h))
+	// Output:
+	// a -[f1]- b -[f2]- c
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitExponentialExact(t *testing.T) {
+	// P(d) = 1000·e^(−0.5 d) for d = 0..10.
+	hist := make([]int, 11)
+	for d := 0; d <= 10; d++ {
+		hist[d] = int(math.Round(1000 * math.Exp(-0.5*float64(d))))
+	}
+	fit, err := FitExponential(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Lambda-0.5) > 0.01 {
+		t.Errorf("lambda = %v, want ≈ 0.5", fit.Lambda)
+	}
+	if math.Abs(fit.A-1000) > 30 {
+		t.Errorf("A = %v, want ≈ 1000", fit.A)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R² = %v", fit.R2)
+	}
+	if fit.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestFitExponentialErrors(t *testing.T) {
+	if _, err := FitExponential([]int{5}); err == nil {
+		t.Error("one point accepted")
+	}
+	if _, err := FitExponential(nil); err == nil {
+		t.Error("no points accepted")
+	}
+}
+
+func TestJudgeDistribution(t *testing.T) {
+	// A clean power law: power-law fit passes, exponential fails.
+	pl := make([]int, 30)
+	for d := 1; d < 30; d++ {
+		pl[d] = int(math.Round(10000 * math.Pow(float64(d), -2.5)))
+	}
+	v := JudgeDistribution(pl, 0.98)
+	if !v.PowerLawOK {
+		t.Errorf("power law should satisfy its own data: %v", v)
+	}
+	if v.ExpOK {
+		t.Errorf("exponential should fail on power-law data: %v", v)
+	}
+
+	// A clean exponential: reverse.
+	ex := make([]int, 30)
+	for d := 0; d < 30; d++ {
+		ex[d] = int(math.Round(10000 * math.Exp(-0.4*float64(d))))
+	}
+	v2 := JudgeDistribution(ex, 0.98)
+	if !v2.ExpOK {
+		t.Errorf("exponential should satisfy its own data: %v", v2)
+	}
+
+	// Data satisfying neither (uniform-ish with jitter).
+	flatNoisy := []int{0, 50, 400, 30, 500, 20, 450, 40, 480}
+	v3 := JudgeDistribution(flatNoisy, 0.9)
+	if v3.PowerLawOK || v3.ExpOK {
+		t.Errorf("noisy data should satisfy neither: %v", v3)
+	}
+	if v3.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hyperplex/internal/graph"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/xrand"
+)
+
+// SmallWorld summarizes the distance structure of a hypergraph under
+// the paper's path metric (path length = number of hyperedges on an
+// alternating vertex–hyperedge path; the distance between two vertices
+// is the length of a shortest such path).
+type SmallWorld struct {
+	// Diameter is the maximum finite distance between two vertices.
+	Diameter int
+	// AvgPathLength is the mean distance over all ordered pairs of
+	// distinct vertices in the same component.
+	AvgPathLength float64
+	// Pairs is the number of (unordered) connected vertex pairs the
+	// average is taken over.
+	Pairs int64
+	// Sources is the number of BFS sources used (|V| for the exact
+	// computation, the sample size for the sampled one).
+	Sources int
+}
+
+// SmallWorldStats computes the exact diameter and average path length
+// by running one BFS per vertex over the bipartite graph B(H),
+// splitting the sources over `workers` goroutines (≤ 0 selects
+// runtime.NumCPU()).  Hypergraph distances are bipartite distances
+// halved.
+func SmallWorldStats(h *hypergraph.Hypergraph, workers int) SmallWorld {
+	return smallWorld(h, workers, nil)
+}
+
+// SmallWorldSampled estimates diameter (as the max eccentricity over
+// the sampled sources — a lower bound) and average path length from a
+// uniform sample of BFS sources.  It is the cheap alternative assessed
+// by the APSP ablation benchmark.
+func SmallWorldSampled(h *hypergraph.Hypergraph, samples int, workers int, rng *xrand.RNG) SmallWorld {
+	nv := h.NumVertices()
+	if samples >= nv {
+		return smallWorld(h, workers, nil)
+	}
+	perm := rng.Perm(nv)
+	return smallWorld(h, workers, perm[:samples])
+}
+
+// smallWorld runs BFS from the given sources (nil = all vertices).
+func smallWorld(h *hypergraph.Hypergraph, workers int, sources []int) SmallWorld {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	nv := h.NumVertices()
+	if nv == 0 {
+		return SmallWorld{}
+	}
+	bip := graph.Bipartite(h)
+
+	if sources == nil {
+		sources = make([]int, nv)
+		for i := range sources {
+			sources[i] = i
+		}
+	}
+
+	type acc struct {
+		diameter int
+		sum      int64
+		pairs    int64
+	}
+	results := make([]acc, workers)
+	var wg sync.WaitGroup
+	next := make(chan int, len(sources))
+	for _, s := range sources {
+		next <- s
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var dist []int32
+			a := &results[w]
+			for src := range next {
+				dist = bip.BFS(src, dist)
+				for v := 0; v < nv; v++ {
+					if v == src || dist[v] < 0 {
+						continue
+					}
+					d := int(dist[v]) / 2 // hyperedge count = bipartite hops / 2
+					if d > a.diameter {
+						a.diameter = d
+					}
+					a.sum += int64(d)
+					a.pairs++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total acc
+	for _, a := range results {
+		if a.diameter > total.diameter {
+			total.diameter = a.diameter
+		}
+		total.sum += a.sum
+		total.pairs += a.pairs
+	}
+	sw := SmallWorld{Diameter: total.diameter, Pairs: total.pairs / boolTo64(len(sources) == nv, 2, 1), Sources: len(sources)}
+	if total.pairs > 0 {
+		sw.AvgPathLength = float64(total.sum) / float64(total.pairs)
+	}
+	return sw
+}
+
+func boolTo64(b bool, t, f int64) int64 {
+	if b {
+		return t
+	}
+	return f
+}
+
+// Eccentricity returns the eccentricity of vertex v in the hypergraph
+// metric: the maximum finite distance from v to any other vertex, and
+// the number of vertices reachable from v (excluding v itself).
+func Eccentricity(h *hypergraph.Hypergraph, v int) (ecc int, reachable int) {
+	bip := graph.Bipartite(h)
+	dist := bip.BFS(v, nil)
+	for u := 0; u < h.NumVertices(); u++ {
+		if u == v || dist[u] < 0 {
+			continue
+		}
+		reachable++
+		if d := int(dist[u]) / 2; d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, reachable
+}
+
+// DistanceHistogram returns the distribution of pairwise hypergraph
+// distances: hist[d] = number of unordered connected vertex pairs at
+// distance d.  Exact (all-pairs BFS), parallelized.
+func DistanceHistogram(h *hypergraph.Hypergraph, workers int) []int64 {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	nv := h.NumVertices()
+	bip := graph.Bipartite(h)
+	hists := make([][]int64, workers)
+	var wg sync.WaitGroup
+	next := make(chan int, nv)
+	for v := 0; v < nv; v++ {
+		next <- v
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var dist []int32
+			local := []int64{}
+			for src := range next {
+				dist = bip.BFS(src, dist)
+				for v := src + 1; v < nv; v++ { // unordered pairs once
+					if dist[v] < 0 {
+						continue
+					}
+					d := int(dist[v]) / 2
+					for len(local) <= d {
+						local = append(local, 0)
+					}
+					local[d]++
+				}
+			}
+			hists[w] = local
+		}(w)
+	}
+	wg.Wait()
+	var out []int64
+	for _, local := range hists {
+		for d, c := range local {
+			for len(out) <= d {
+				out = append(out, 0)
+			}
+			out[d] += c
+		}
+	}
+	return out
+}
+
+// FormatDistanceHistogram renders a distance histogram as aligned rows
+// for reports.
+func FormatDistanceHistogram(hist []int64) string {
+	s := ""
+	for d, c := range hist {
+		if c > 0 {
+			s += fmt.Sprintf("  d=%d: %d pairs\n", d, c)
+		}
+	}
+	return s
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/xrand"
+)
+
+func TestComponentsUFBasic(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddEdge("f1", "a", "b")
+	b.AddEdge("f2", "b", "c")
+	b.AddEdge("g1", "x", "y")
+	b.AddVertex("lonely")
+	h := b.MustBuild()
+	vComp, eComp, comps := ComponentsUF(h)
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if comps[0].Vertices != 3 || comps[0].Edges != 2 {
+		t.Errorf("largest = %+v", comps[0])
+	}
+	a, _ := h.VertexID("a")
+	c, _ := h.VertexID("c")
+	x, _ := h.VertexID("x")
+	if vComp[a] != vComp[c] || vComp[a] == vComp[x] {
+		t.Error("labels wrong")
+	}
+	f1, _ := h.EdgeID("f1")
+	if eComp[f1] != vComp[a] {
+		t.Error("edge label disagrees")
+	}
+}
+
+func TestPropertyComponentsUFMatchesBFS(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		nv := 2 + rng.Intn(25)
+		ne := rng.Intn(20)
+		edges := make([][]int32, ne)
+		for f := range edges {
+			size := rng.Intn(4)
+			for i := 0; i < size; i++ {
+				edges[f] = append(edges[f], int32(rng.Intn(nv)))
+			}
+		}
+		h, err := hypergraph.FromEdgeSets(nv, edges)
+		if err != nil {
+			return false
+		}
+		v1, e1, c1 := Components(h)
+		v2, e2, c2 := ComponentsUF(h)
+		if len(c1) != len(c2) {
+			return false
+		}
+		// The component *partition* must agree even if ID numbering
+		// differs: same-label pairs in one must be same-label in the
+		// other.
+		for i := range v1 {
+			for j := i + 1; j < len(v1); j++ {
+				if (v1[i] == v1[j]) != (v2[i] == v2[j]) {
+					return false
+				}
+			}
+		}
+		for i := range e1 {
+			for j := i + 1; j < len(e1); j++ {
+				if (e1[i] == e1[j]) != (e2[i] == e2[j]) {
+					return false
+				}
+			}
+		}
+		// Sorted component sizes agree.
+		for i := range c1 {
+			if c1[i].Vertices != c2[i].Vertices || c1[i].Edges != c2[i].Edges {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

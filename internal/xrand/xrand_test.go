@@ -1,0 +1,174 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestKnownStream(t *testing.T) {
+	// Pin the first outputs so a refactor cannot silently change every
+	// generated dataset.
+	r := New(0)
+	got := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x6c45d188009454f}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stream[%d] = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		n := 1 + i%50
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d", n, v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 negative")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(5)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("split children identical")
+	}
+}
+
+func TestPowerLawIntBounds(t *testing.T) {
+	r := New(13)
+	counts := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		d := r.PowerLawInt(2.5, 1, 21)
+		if d < 1 || d > 21 {
+			t.Fatalf("PowerLawInt = %d", d)
+		}
+		counts[d]++
+	}
+	// Monotone-ish decay: degree 1 dominates degree 2 dominates degree 4.
+	if !(counts[1] > counts[2] && counts[2] > counts[4]) {
+		t.Errorf("counts not decaying: %v", counts)
+	}
+	// Roughly the right ratio: P(1)/P(2) ≈ 2^2.5 ≈ 5.7.
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 3.5 || ratio > 9 {
+		t.Errorf("P(1)/P(2) = %v, want ≈ 5.7", ratio)
+	}
+	if d := r.PowerLawInt(2.5, 4, 4); d != 4 {
+		t.Errorf("degenerate PowerLawInt = %d", d)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(21)
+	n := 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("variance = %v", variance)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	r := New(31)
+	if r.Binomial(0, 0.5) != 0 || r.Binomial(10, 0) != 0 || r.Binomial(10, 1) != 10 {
+		t.Error("binomial edge cases wrong")
+	}
+	// Small-n mean check.
+	total := 0
+	for i := 0; i < 5000; i++ {
+		total += r.Binomial(20, 0.3)
+	}
+	mean := float64(total) / 5000
+	if math.Abs(mean-6) > 0.3 {
+		t.Errorf("Binomial(20, .3) mean = %v, want 6", mean)
+	}
+	// Large-n path.
+	big := r.Binomial(10000, 0.5)
+	if big < 4500 || big > 5500 {
+		t.Errorf("Binomial(10000, .5) = %d", big)
+	}
+}
+
+func TestPropertyShuffleKeepsMultiset(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + int(seed%40)
+		s := make([]int, n)
+		for i := range s {
+			s[i] = i % 7
+		}
+		var before [7]int
+		for _, v := range s {
+			before[v]++
+		}
+		r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+		var after [7]int
+		for _, v := range s {
+			after[v]++
+		}
+		return before == after
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
