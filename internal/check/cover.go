@@ -1,0 +1,136 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"hyperplex/internal/cover"
+	"hyperplex/internal/hypergraph"
+)
+
+// floatEps is the tolerance for comparing accumulated float64 weights.
+func floatEps(scale float64) float64 { return 1e-9 * (1 + math.Abs(scale)) }
+
+// ValidCover verifies a (multi)cover result independently of
+// cover.Verify: the membership slice and vertex list must agree (no
+// duplicates, consistent counts), the recorded weight must equal the
+// sum of the chosen vertices' weights, and every hyperedge f must
+// contain at least req[f] chosen vertices (1 when req is nil; 0
+// disables the constraint).  weights may be nil for unit weights.
+func ValidCover(h *hypergraph.Hypergraph, c *cover.Cover, weights []float64, req []int) error {
+	if c == nil {
+		return fmt.Errorf("check: nil cover")
+	}
+	nv, ne := h.NumVertices(), h.NumEdges()
+	if len(c.InCover) != nv {
+		return fmt.Errorf("check: InCover has %d entries for %d vertices", len(c.InCover), nv)
+	}
+	if req != nil && len(req) != ne {
+		return fmt.Errorf("check: %d requirements for %d hyperedges", len(req), ne)
+	}
+	seen := make(map[int]bool, len(c.Vertices))
+	for _, v := range c.Vertices {
+		if v < 0 || v >= nv {
+			return fmt.Errorf("check: cover lists out-of-range vertex %d", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("check: cover lists vertex %d twice", v)
+		}
+		seen[v] = true
+		if !c.InCover[v] {
+			return fmt.Errorf("check: cover lists vertex %d but InCover[%d] is false", v, v)
+		}
+	}
+	if got := countTrue(c.InCover); got != len(c.Vertices) {
+		return fmt.Errorf("check: %d vertices marked in InCover but %d listed", got, len(c.Vertices))
+	}
+	wantW := 0.0
+	for v, in := range c.InCover {
+		if !in {
+			continue
+		}
+		if weights == nil {
+			wantW++
+		} else {
+			wantW += weights[v]
+		}
+	}
+	if math.Abs(wantW-c.Weight) > floatEps(wantW) {
+		return fmt.Errorf("check: cover weight recorded as %g, chosen vertices sum to %g", c.Weight, wantW)
+	}
+	for f := 0; f < ne; f++ {
+		r := 1
+		if req != nil {
+			r = req[f]
+		}
+		if r <= 0 {
+			continue
+		}
+		got := 0
+		for _, v := range h.Vertices(f) {
+			if c.InCover[v] {
+				got++
+			}
+		}
+		if got < r {
+			return fmt.Errorf("check: hyperedge %d covered %d times, requirement %d", f, got, r)
+		}
+	}
+	return nil
+}
+
+// ValidPrimalDual verifies the primal-dual certificate: the cover is
+// feasible, the dual variables are non-negative and pack within every
+// vertex's weight, DualValue is their sum, and weak duality plus the
+// Δ_F guarantee hold:
+//
+//	DualValue ≤ Cover.Weight ≤ Δ_F · DualValue.
+//
+// weights may be nil for unit weights.
+func ValidPrimalDual(h *hypergraph.Hypergraph, weights []float64, r *cover.PrimalDualResult) error {
+	if r == nil {
+		return fmt.Errorf("check: nil primal-dual result")
+	}
+	if err := ValidCover(h, r.Cover, weights, nil); err != nil {
+		return err
+	}
+	nv, ne := h.NumVertices(), h.NumEdges()
+	if len(r.Dual) != ne {
+		return fmt.Errorf("check: %d dual variables for %d hyperedges", len(r.Dual), ne)
+	}
+	sum := 0.0
+	for f, y := range r.Dual {
+		if y < 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+			return fmt.Errorf("check: dual variable y[%d] = %g is not a non-negative finite value", f, y)
+		}
+		sum += y
+	}
+	if math.Abs(sum-r.DualValue) > floatEps(sum) {
+		return fmt.Errorf("check: DualValue recorded as %g, dual variables sum to %g", r.DualValue, sum)
+	}
+	for v := 0; v < nv; v++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[v]
+		}
+		packed := 0.0
+		for _, f := range h.Edges(v) {
+			packed += r.Dual[f]
+		}
+		if packed > w+floatEps(w) {
+			return fmt.Errorf("check: dual infeasible at vertex %d: Σ y_f = %g > w = %g", v, packed, w)
+		}
+	}
+	if r.DualValue > r.Cover.Weight+floatEps(r.Cover.Weight) {
+		return fmt.Errorf("check: weak duality violated: dual %g > primal %g", r.DualValue, r.Cover.Weight)
+	}
+	if dF := h.MaxEdgeDegree(); dF > 0 {
+		bound := float64(dF) * r.DualValue
+		if r.Cover.Weight > bound+floatEps(bound) {
+			return fmt.Errorf("check: Δ_F guarantee violated: weight %g > Δ_F·dual = %d·%g", r.Cover.Weight, dF, r.DualValue)
+		}
+	} else if r.Cover.Weight != 0 {
+		return fmt.Errorf("check: non-empty cover of weight %g for an edgeless hypergraph", r.Cover.Weight)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package check
+
+import (
+	"fmt"
+
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/stats"
+)
+
+// ValidPath verifies that p is a well-formed alternating vertex–
+// hyperedge path from from to to (§1.3 of the paper): endpoints match,
+// consecutive vertices share the hyperedge between them, and no vertex
+// or hyperedge repeats.  It does not check minimality; pair it with
+// ShortestPathNaive for that.
+func ValidPath(h *hypergraph.Hypergraph, from, to int, p stats.HyperPath) error {
+	if len(p.Vertices) == 0 {
+		return fmt.Errorf("check: empty path")
+	}
+	if len(p.Vertices) != len(p.Edges)+1 {
+		return fmt.Errorf("check: path has %d vertices and %d hyperedges, want one more vertex than hyperedges",
+			len(p.Vertices), len(p.Edges))
+	}
+	if p.Vertices[0] != from || p.Vertices[len(p.Vertices)-1] != to {
+		return fmt.Errorf("check: path runs %d→%d, want %d→%d",
+			p.Vertices[0], p.Vertices[len(p.Vertices)-1], from, to)
+	}
+	seenV := make(map[int]bool, len(p.Vertices))
+	for _, v := range p.Vertices {
+		if v < 0 || v >= h.NumVertices() {
+			return fmt.Errorf("check: path visits out-of-range vertex %d", v)
+		}
+		if seenV[v] {
+			return fmt.Errorf("check: path visits vertex %d twice", v)
+		}
+		seenV[v] = true
+	}
+	seenE := make(map[int]bool, len(p.Edges))
+	for i, f := range p.Edges {
+		if f < 0 || f >= h.NumEdges() {
+			return fmt.Errorf("check: path uses out-of-range hyperedge %d", f)
+		}
+		if seenE[f] {
+			return fmt.Errorf("check: path uses hyperedge %d twice", f)
+		}
+		seenE[f] = true
+		if !h.EdgeContains(f, p.Vertices[i]) || !h.EdgeContains(f, p.Vertices[i+1]) {
+			return fmt.Errorf("check: hyperedge %d does not join vertices %d and %d",
+				f, p.Vertices[i], p.Vertices[i+1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package check
+
+import (
+	"hyperplex/internal/gen"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/xrand"
+)
+
+// Instances returns count deterministic hypergraphs for a differential
+// sweep: a fixed prefix of crafted corner cases (empty hypergraph,
+// isolated vertices, duplicate and nested hyperedges, stars, dense
+// uniform families) followed by generated instances of varied size and
+// density — uniform random hypergraphs interleaved with power-law
+// configuration models, all driven by xrand so equal seeds give
+// identical sweeps on every platform.
+func Instances(count int, seed uint64) []*hypergraph.Hypergraph {
+	out := crafted()
+	if count < len(out) {
+		return out[:count]
+	}
+	rng := xrand.New(seed)
+	for len(out) < count {
+		nv := 2 + rng.Intn(59)
+		ne := 1 + rng.Intn(44)
+		maxSize := 1 + rng.Intn(7)
+		if len(out)%5 == 4 {
+			if h := powerLawInstance(nv, ne, rng); h != nil {
+				out = append(out, h)
+				continue
+			}
+		}
+		out = append(out, gen.RandomHypergraph(nv, ne, maxSize, rng))
+	}
+	return out
+}
+
+// crafted returns the corner cases every sweep starts with.  Keep this
+// list append-only so instance indices stay stable across PRs.
+func crafted() []*hypergraph.Hypergraph {
+	all3of5 := [][]int32{}
+	for a := int32(0); a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			for c := b + 1; c < 5; c++ {
+				all3of5 = append(all3of5, []int32{a, b, c})
+			}
+		}
+	}
+	return []*hypergraph.Hypergraph{
+		mustFromEdgeSets(0, nil),                        // empty
+		mustFromEdgeSets(4, nil),                        // isolated vertices only
+		mustFromEdgeSets(5, [][]int32{{0, 1, 2, 3, 4}}), // one all-covering edge
+		mustFromEdgeSets(4, [][]int32{ // duplicate hyperedges
+			{0, 1}, {0, 1}, {0, 1}, {2, 3}}),
+		mustFromEdgeSets(6, [][]int32{ // nested chain + side edge
+			{0, 1, 2, 3, 4, 5}, {1, 2, 3, 4}, {2, 3}, {2}, {4, 5}}),
+		mustFromEdgeSets(6, [][]int32{ // two triangles
+			{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}}),
+		mustFromEdgeSets(7, [][]int32{ // star around a hub
+			{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}}),
+		mustFromEdgeSets(5, all3of5), // dense 3-uniform family
+	}
+}
+
+func mustFromEdgeSets(nv int, edges [][]int32) *hypergraph.Hypergraph {
+	h, err := hypergraph.FromEdgeSets(nv, edges)
+	if err != nil {
+		panic("check: crafted instance invalid: " + err.Error())
+	}
+	return h
+}
+
+// powerLawInstance wires a configuration-model hypergraph whose vertex
+// degrees follow the paper's power law.  It returns nil when a valid
+// size sequence cannot be arranged for the drawn parameters, in which
+// case the caller falls back to a uniform instance.
+func powerLawInstance(nv, ne int, rng *xrand.RNG) *hypergraph.Hypergraph {
+	dmax := 8
+	if dmax > nv {
+		dmax = nv
+	}
+	deg := gen.PowerLawDegreeSequence(nv, 2.5, 1, dmax, rng)
+	sum := 0
+	for _, d := range deg {
+		sum += d
+	}
+	if sum < ne {
+		ne = sum
+	}
+	if ne == 0 || sum > ne*nv {
+		return nil
+	}
+	sizes := make([]int, ne)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	for rest, guard := sum-ne, 0; rest > 0; guard++ {
+		if guard > 100000 {
+			return nil
+		}
+		f := rng.Intn(ne)
+		if sizes[f] < nv {
+			sizes[f]++
+			rest--
+		}
+	}
+	edges, err := gen.BipartiteConfiguration(deg, sizes, rng)
+	if err != nil {
+		return nil
+	}
+	h, err := hypergraph.FromEdgeSets(nv, edges)
+	if err != nil {
+		return nil
+	}
+	return h
+}

@@ -1,0 +1,110 @@
+// Differential tests validating the fast core implementations against
+// the naive oracles and invariant checkers in internal/check, over a
+// deterministic generator sweep plus the Cellzome dataset.  This file
+// is an external test package because check imports core.
+package core_test
+
+import (
+	"runtime"
+	"testing"
+
+	"hyperplex/internal/check"
+	"hyperplex/internal/core"
+	"hyperplex/internal/dataset"
+)
+
+// TestDifferentialKCore checks KCore against both the in-package naive
+// implementation and check's independent fixpoint oracle on every sweep
+// instance, then on the Cellzome hypergraph.
+func TestDifferentialKCore(t *testing.T) {
+	for i, h := range check.Instances(58, 0xC04E1) {
+		for _, k := range []int{0, 1, 2, 3} {
+			r := core.KCore(h, k)
+			if err := check.ValidCore(h, k, r); err != nil {
+				t.Fatalf("instance %d %v, k=%d: %v", i, h, k, err)
+			}
+			if err := check.SameResult(h, r, core.KCoreNaive(h, k)); err != nil {
+				t.Fatalf("instance %d %v, k=%d: KCore vs KCoreNaive: %v", i, h, k, err)
+			}
+		}
+	}
+	h := dataset.Cellzome().H
+	for _, k := range []int{1, 6, 7} {
+		r := core.KCore(h, k)
+		if err := check.ValidCore(h, k, r); err != nil {
+			t.Fatalf("Cellzome k=%d: %v", k, err)
+		}
+	}
+	if r6 := core.KCore(h, 6); r6.NumVertices != 41 || r6.NumEdges != 54 {
+		t.Fatalf("Cellzome 6-core is %d/%d, want the paper's 41/54", r6.NumVertices, r6.NumEdges)
+	}
+}
+
+// TestDifferentialKCoreParallel exercises the concurrent peeler with 1,
+// 2 and NumCPU workers (run under -race in CI) and requires exact
+// agreement with the sequential algorithm plus the invariant checker.
+func TestDifferentialKCoreParallel(t *testing.T) {
+	workers := []int{1, 2, runtime.NumCPU()}
+	for i, h := range check.Instances(58, 0xC04E2) {
+		for _, k := range []int{1, 2, 3} {
+			want := core.KCore(h, k)
+			for _, w := range workers {
+				got := core.KCoreParallel(h, k, w)
+				if err := check.SameResult(h, got, want); err != nil {
+					t.Fatalf("instance %d %v, k=%d, workers=%d: parallel vs sequential: %v", i, h, k, w, err)
+				}
+			}
+			if err := check.ValidCore(h, k, core.KCoreParallel(h, k, 2)); err != nil {
+				t.Fatalf("instance %d %v, k=%d: %v", i, h, k, err)
+			}
+		}
+	}
+	h := dataset.Cellzome().H
+	want := core.KCore(h, 6)
+	for _, w := range workers {
+		got := core.KCoreParallel(h, 6, w)
+		if err := check.SameResult(h, got, want); err != nil {
+			t.Fatalf("Cellzome k=6, workers=%d: %v", w, err)
+		}
+	}
+}
+
+// TestDifferentialBiCore checks the (k, l)-core peeler against the
+// definitional fixpoint oracle.
+func TestDifferentialBiCore(t *testing.T) {
+	pairs := [][2]int{{0, 2}, {1, 2}, {2, 2}, {1, 3}, {3, 1}, {2, 4}}
+	for i, h := range check.Instances(58, 0xC04E3) {
+		for _, kl := range pairs {
+			r := core.BiCore(h, kl[0], kl[1])
+			if err := check.ValidBiCore(h, kl[0], kl[1], r); err != nil {
+				t.Fatalf("instance %d %v, k=%d, l=%d: %v", i, h, kl[0], kl[1], err)
+			}
+		}
+	}
+	h := dataset.Cellzome().H
+	r := core.BiCore(h, 2, 3)
+	if err := check.ValidBiCore(h, 2, 3, r); err != nil {
+		t.Fatalf("Cellzome (2,3)-core: %v", err)
+	}
+}
+
+// TestDifferentialDecompose validates the full decomposition level by
+// level against the oracle on the sweep, and spot-checks the Cellzome
+// maximum core against the paper's numbers.
+func TestDifferentialDecompose(t *testing.T) {
+	for i, h := range check.Instances(58, 0xC04E4) {
+		d := core.Decompose(h)
+		if err := check.ValidDecomposition(h, d); err != nil {
+			t.Fatalf("instance %d %v: %v", i, h, err)
+		}
+	}
+	h := dataset.Cellzome().H
+	d := core.Decompose(h)
+	if d.MaxK != 6 {
+		t.Fatalf("Cellzome MaxK = %d, want 6", d.MaxK)
+	}
+	r := d.Core(6)
+	if err := check.ValidCore(h, 6, r); err != nil {
+		t.Fatalf("Cellzome decomposition 6-core: %v", err)
+	}
+}

@@ -1,0 +1,24 @@
+// Differential round-trip tests over the generator sweep and the
+// Cellzome dataset, covering all three IO formats plus JSON.  This
+// file is an external test package because check imports hypergraph.
+package hypergraph_test
+
+import (
+	"testing"
+
+	"hyperplex/internal/check"
+	"hyperplex/internal/dataset"
+)
+
+// TestDifferentialRoundTrip pushes every sweep instance through the
+// text, JSON, Matrix Market and Pajek round-trip checkers.
+func TestDifferentialRoundTrip(t *testing.T) {
+	for i, h := range check.Instances(58, 0xF11E5) {
+		if err := check.RoundTripAll(h); err != nil {
+			t.Fatalf("instance %d %v: %v", i, h, err)
+		}
+	}
+	if err := check.RoundTripAll(dataset.Cellzome().H); err != nil {
+		t.Fatalf("Cellzome: %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+// Native fuzz targets for the text and JSON parsers.  An external test
+// package so the round-trip checkers in internal/check (which imports
+// hypergraph) can serve as the property being fuzzed.
+package hypergraph_test
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"hyperplex/internal/check"
+	"hyperplex/internal/hypergraph"
+)
+
+// FuzzReadText feeds arbitrary bytes to the text parser and, for every
+// input it accepts, requires the parsed hypergraph to be structurally
+// valid and to survive write→read round trips with a write-stable
+// canonical form.  The same bytes are also offered to the JSON parser,
+// which must error or produce a valid hypergraph.
+func FuzzReadText(f *testing.F) {
+	f.Add("e: a b c\ne2: a\nvertex q\n")
+	f.Add("x: y\n# comment\nz: y y y\n")
+	f.Add("only: one\n")
+	f.Add("empty:\n")
+	f.Add("odd name: a:b #x\nvertex #y\n")
+	f.Add(`{"vertices":["a"],"edges":{"e":["a"]},"edgeOrder":["e"]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		if h, err := hypergraph.UnmarshalJSONHypergraph([]byte(data)); err == nil {
+			if err := h.Validate(); err != nil {
+				t.Fatalf("JSON parser accepted %q but produced invalid hypergraph: %v", data, err)
+			}
+		}
+		h, err := hypergraph.ReadText(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("text parser accepted %q but produced invalid hypergraph: %v", data, err)
+		}
+		if err := check.RoundTripText(h); err != nil {
+			t.Fatalf("text round trip of %q: %v", data, err)
+		}
+		// JSON keys collapse duplicate edge names and encoding/json
+		// replaces invalid UTF-8 with U+FFFD, so the JSON round trip is
+		// only promised for unique, valid-UTF-8 names.
+		names := make(map[string]bool, h.NumEdges())
+		for fe := 0; fe < h.NumEdges(); fe++ {
+			name := h.EdgeName(fe)
+			if names[name] || !utf8.ValidString(name) {
+				return
+			}
+			names[name] = true
+		}
+		for v := 0; v < h.NumVertices(); v++ {
+			if !utf8.ValidString(h.VertexName(v)) {
+				return
+			}
+		}
+		if err := check.RoundTripJSON(h); err != nil {
+			t.Fatalf("JSON round trip of %q: %v", data, err)
+		}
+	})
+}
+
+// TestReadTextParsedIsValid pins a few accepted inputs: anything the
+// parser accepts must satisfy the structural invariants.
+func TestReadTextParsedIsValid(t *testing.T) {
+	inputs := []string{
+		"e: a b c\ne2: a\nvertex q\n",
+		"x: y\n# comment\nz: y y y\n",
+		"only: one\n",
+	}
+	for _, in := range inputs {
+		h, err := hypergraph.ReadText(strings.NewReader(in))
+		if err != nil {
+			t.Errorf("ReadText(%q): %v", in, err)
+			continue
+		}
+		if err := h.Validate(); err != nil {
+			t.Errorf("ReadText(%q) produced invalid hypergraph: %v", in, err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package mmio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fuzzDimLimit keeps ToHypergraph off inputs whose parsed dimensions
+// (attacker-chosen in the size line) would demand per-row/per-column
+// allocations far beyond anything the entry list can justify.
+const fuzzDimLimit = 1 << 16
+
+// FuzzReadMatrixMarket feeds arbitrary bytes to the Matrix Market
+// parser.  Accepted inputs must survive write→read with every entry bit
+// identical, and (for sane dimensions) convert to a structurally valid
+// hypergraph.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.5\n3 2 -2\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n3 3 2\n1 1\n3 2\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n2 4 1\n2 4 7\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 0\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		m, err := Read(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("Write of parsed matrix: %v", err)
+		}
+		m2, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of own output: %v", err)
+		}
+		if m.Rows != m2.Rows || m.Cols != m2.Cols || m.NNZ() != m2.NNZ() || m.Pattern != m2.Pattern {
+			t.Fatalf("round trip changed shape: %dx%d/%d/%t to %dx%d/%d/%t",
+				m.Rows, m.Cols, m.NNZ(), m.Pattern, m2.Rows, m2.Cols, m2.NNZ(), m2.Pattern)
+		}
+		for k := 0; k < m.NNZ(); k++ {
+			if m.RowIdx[k] != m2.RowIdx[k] || m.ColIdx[k] != m2.ColIdx[k] ||
+				math.Float64bits(m.Val[k]) != math.Float64bits(m2.Val[k]) {
+				t.Fatalf("entry %d changed: (%d,%d,%g) to (%d,%d,%g)",
+					k, m.RowIdx[k], m.ColIdx[k], m.Val[k], m2.RowIdx[k], m2.ColIdx[k], m2.Val[k])
+			}
+		}
+		if m.Rows > fuzzDimLimit || m.Cols > fuzzDimLimit {
+			return
+		}
+		h, err := ToHypergraph(m)
+		if err != nil {
+			t.Fatalf("ToHypergraph of parsed matrix: %v", err)
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("ToHypergraph produced invalid hypergraph: %v", err)
+		}
+	})
+}

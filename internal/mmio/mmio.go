@@ -88,12 +88,19 @@ func Read(r io.Reader) (*Matrix, error) {
 		return nil, fmt.Errorf("mmio: bad size line %q", sizeLine)
 	}
 
+	// The header's nnz only sizes the preallocation; cap it so a lying
+	// size line cannot force a huge up-front allocation (real entries
+	// still grow the slices as they are read).
+	prealloc := nnz
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
 	m := &Matrix{
 		Rows:    rows,
 		Cols:    cols,
-		RowIdx:  make([]int32, 0, nnz),
-		ColIdx:  make([]int32, 0, nnz),
-		Val:     make([]float64, 0, nnz),
+		RowIdx:  make([]int32, 0, prealloc),
+		ColIdx:  make([]int32, 0, prealloc),
+		Val:     make([]float64, 0, prealloc),
 		Pattern: field == "pattern",
 	}
 	read := 0

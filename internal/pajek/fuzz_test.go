@@ -1,0 +1,61 @@
+package pajek
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// renderNet re-emits a NetInfo the way WriteNet renders hypergraphs,
+// so the fuzz target can require parse→render→parse stability for any
+// accepted input (WriteNet itself starts from a hypergraph, which
+// arbitrary .net files do not correspond to).
+func renderNet(info *NetInfo) string {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	fmt.Fprintf(bw, "*Vertices %d\n", len(info.Labels))
+	for i, label := range info.Labels {
+		fmt.Fprintf(bw, "%d %q\n", i+1, label)
+	}
+	fmt.Fprintln(bw, "*Edges")
+	for _, e := range info.Edges {
+		fmt.Fprintf(bw, "%d %d\n", e[0], e[1])
+	}
+	bw.Flush()
+	return buf.String()
+}
+
+// FuzzReadPajek feeds arbitrary bytes to the .net parser.  Every
+// accepted input must re-render and re-parse to the identical NetInfo.
+func FuzzReadPajek(f *testing.F) {
+	f.Add("*Vertices 3\n1 \"a\" ic Yellow\n2 \"b\" ic Red\n3 \"f0\" ic Pink\n*Edges\n1 3\n2 3\n")
+	f.Add("*Vertices 2\n1 plain\n2 \"esc\\\"aped\"\n*Arcs\n1 2\n")
+	f.Add("*Vertices 0\n*Edges\n")
+	f.Add("% comment\n*Vertices 1\n1 \"x\"\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		info, err := ReadNet(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		info2, err := ReadNet(strings.NewReader(renderNet(info)))
+		if err != nil {
+			t.Fatalf("re-read of rendered output: %v", err)
+		}
+		if len(info.Labels) != len(info2.Labels) || len(info.Edges) != len(info2.Edges) {
+			t.Fatalf("round trip changed shape: %d/%d labels, %d/%d edges",
+				len(info.Labels), len(info2.Labels), len(info.Edges), len(info2.Edges))
+		}
+		for i := range info.Labels {
+			if info.Labels[i] != info2.Labels[i] {
+				t.Fatalf("label %d changed: %q to %q", i, info.Labels[i], info2.Labels[i])
+			}
+		}
+		for i := range info.Edges {
+			if info.Edges[i] != info2.Edges[i] {
+				t.Fatalf("edge %d changed: %v to %v", i, info.Edges[i], info2.Edges[i])
+			}
+		}
+	})
+}

@@ -86,6 +86,11 @@ func WriteClu(w io.Writer, h *hypergraph.Hypergraph, coreV, coreF []bool) error 
 	return bw.Flush()
 }
 
+// maxNetVertices bounds the vertex count a *Vertices header may
+// declare: the label table is allocated up front, so an unchecked
+// header would let a tiny hostile file demand gigabytes.
+const maxNetVertices = 1 << 22
+
 // NetInfo is the minimal structural content of a .net file read back:
 // vertex labels and the edge list (1-based IDs as stored).
 type NetInfo struct {
@@ -117,6 +122,9 @@ func ReadNet(r io.Reader) (*NetInfo, error) {
 			n, err := strconv.Atoi(fields[1])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("pajek: bad vertex count in %q", line)
+			}
+			if n > maxNetVertices {
+				return nil, fmt.Errorf("pajek: vertex count %d exceeds the %d limit", n, maxNetVertices)
 			}
 			info.Labels = make([]string, n)
 			state = 1

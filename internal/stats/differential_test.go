@@ -1,0 +1,66 @@
+// Differential tests validating the alternating-path metric against a
+// naive BFS oracle.  This file is an external test package because
+// check imports stats.
+package stats_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hyperplex/internal/check"
+	"hyperplex/internal/dataset"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/stats"
+	"hyperplex/internal/xrand"
+)
+
+// comparePair requires ShortestPath and the oracle to agree on
+// reachability and distance, and any returned path to pass ValidPath
+// with the claimed length.
+func comparePair(t *testing.T, label string, h *hypergraph.Hypergraph, from, to int) {
+	t.Helper()
+	p, ok := stats.ShortestPath(h, from, to)
+	wantDist, wantOK := check.ShortestPathNaive(h, from, to)
+	if ok != wantOK {
+		t.Fatalf("%s: ShortestPath(%d,%d) reachable=%t, oracle says %t", label, from, to, ok, wantOK)
+	}
+	if !ok {
+		return
+	}
+	if got := len(p.Edges); got != wantDist {
+		t.Fatalf("%s: ShortestPath(%d,%d) length %d, oracle says %d", label, from, to, got, wantDist)
+	}
+	if err := check.ValidPath(h, from, to, p); err != nil {
+		t.Fatalf("%s: path %d→%d: %v", label, from, to, err)
+	}
+}
+
+// TestDifferentialAlternatingPath samples vertex pairs on every sweep
+// instance and compares the production BFS against the oracle, then
+// does the same on Cellzome.
+func TestDifferentialAlternatingPath(t *testing.T) {
+	rng := xrand.New(0x9A7B)
+	for i, h := range check.Instances(58, 0x9A7A) {
+		nv := h.NumVertices()
+		if nv == 0 {
+			continue
+		}
+		for s := 0; s < 12; s++ {
+			from, to := rng.Intn(nv), rng.Intn(nv)
+			comparePair(t, labelOf(i, h), h, from, to)
+		}
+		// Always include the self-pair and the extreme-ID pair.
+		comparePair(t, labelOf(i, h), h, 0, 0)
+		comparePair(t, labelOf(i, h), h, 0, nv-1)
+	}
+
+	h := dataset.Cellzome().H
+	nv := h.NumVertices()
+	for s := 0; s < 40; s++ {
+		comparePair(t, "Cellzome", h, rng.Intn(nv), rng.Intn(nv))
+	}
+}
+
+func labelOf(i int, h *hypergraph.Hypergraph) string {
+	return fmt.Sprintf("instance %d %v", i, h)
+}
