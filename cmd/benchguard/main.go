@@ -1,0 +1,80 @@
+// benchguard gates CI on benchmark regressions.  It reads `go test
+// -bench` output (stdin or a file), compares the pinned guard
+// benchmarks against a committed baseline after calibration scaling,
+// and exits non-zero if any kernel regressed past the threshold.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '^BenchmarkGuard' -count 3 ./internal/benchguard/ \
+//	  | benchguard -baseline internal/benchguard/testdata/baseline.json
+//
+//	benchguard -baseline ... -update bench.out   # re-record the baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hyperplex/internal/benchguard"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "internal/benchguard/testdata/baseline.json", "baseline JSON file")
+	threshold := fs.Float64("threshold", benchguard.DefaultThreshold, "fail when current ns/op exceeds calibrated baseline times this factor")
+	update := fs.Bool("update", false, "re-record the baseline from the input instead of comparing")
+	note := fs.String("note", "", "provenance note to store when updating the baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := benchguard.ParseBench(in)
+	if err != nil {
+		return err
+	}
+
+	if *update {
+		b := &benchguard.Baseline{Note: *note, NsPerOp: current}
+		if err := b.Save(*baselinePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "recorded %d benchmarks to %s\n", len(current), *baselinePath)
+		return nil
+	}
+
+	baseline, err := benchguard.LoadBaseline(*baselinePath)
+	if err != nil {
+		return err
+	}
+	regressions, err := benchguard.Compare(baseline, current, *threshold)
+	if err != nil {
+		return err
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(stdout, "REGRESSION:", r)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed past %.2fx", len(regressions), *threshold)
+	}
+	fmt.Fprintf(stdout, "benchguard: %d benchmarks within %.2fx of calibrated baseline\n",
+		len(baseline.NsPerOp)-1, *threshold)
+	return nil
+}

@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+
+	"hyperplex/internal/cli"
 )
 
 func main() {
@@ -23,7 +26,10 @@ func main() {
 	short := flag.Bool("short", false, "shrink the Table 1 matrices and trial counts for a quick run")
 	outDir := flag.String("out", ".", "directory for generated artifacts (fig3.net, fig3.clu)")
 	trials := flag.Int("trials", 100, "TAP simulation trials for X1")
+	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this duration (0 = no limit)")
 	flag.Parse()
+	ctx, cancel := cli.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
 	wanted := map[string]bool{}
 	if *runFlag == "all" {
@@ -45,8 +51,15 @@ func main() {
 		if !wanted[e.id] {
 			continue
 		}
+		// The deadline is coarse: it stops starting new experiments
+		// rather than interrupting one mid-flight.
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: not run: %v\n", e.id, err)
+			failed = true
+			continue
+		}
 		fmt.Printf("==== %s: %s ====\n", e.id, e.title)
-		if err := e.run(os.Stdout, opts); err != nil {
+		if err := runExperiment(e, os.Stdout, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
 			failed = true
 		}
@@ -55,6 +68,14 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runExperiment runs one experiment with a panic boundary, so a fault
+// in one experiment reports as its failure instead of killing the
+// whole sweep.
+func runExperiment(e experiment, w io.Writer, o options) (err error) {
+	defer cli.RecoverPanic(&err)
+	return e.run(w, o)
 }
 
 type options struct {

@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 
+	"hyperplex/internal/cli"
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/mmio"
 	"hyperplex/internal/pajek"
@@ -30,15 +32,19 @@ func main() {
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
+	defer cli.RecoverPanic(&err)
 	fs := flag.NewFlagSet("hgconvert", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	from := fs.String("from", "text", "input format: text | json | mtx")
 	to := fs.String("to", "text", "output format: text | json | mtx | pajek")
 	out := fs.String("o", "", "output file (default stdout)")
+	timeout := fs.Duration("timeout", 0, "abort if the conversion exceeds this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cli.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
 	var r io.Reader = stdin
 	if fs.Arg(0) != "" {
@@ -51,10 +57,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	var h *hypergraph.Hypergraph
-	var err error
 	switch *from {
 	case "text":
-		h, err = hypergraph.ReadText(r)
+		h, err = hypergraph.ReadTextCtx(ctx, r)
 	case "json":
 		var data []byte
 		data, err = io.ReadAll(r)
@@ -63,7 +68,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 	case "mtx":
 		var m *mmio.Matrix
-		m, err = mmio.Read(r)
+		m, err = mmio.ReadCtx(ctx, r)
 		if err == nil {
 			h, err = mmio.ToHypergraph(m)
 		}

@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,7 +33,8 @@ func main() {
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
+	defer cli.RecoverPanic(&err)
 	fs := flag.NewFlagSet("hgcore", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	k := fs.Int("k", -1, "compute the k-core for this k")
@@ -43,18 +45,24 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	parallel := fs.Int("parallel", 0, "use the parallel algorithm with this many workers (0 = sequential)")
 	pajekPrefix := fs.String("pajek", "", "write PREFIX.net and PREFIX.clu with the core highlighted")
 	quiet := fs.Bool("quiet", false, "suppress the member listing")
+	timeout := fs.Duration("timeout", 0, "abort if reading plus peeling exceed this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cli.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
-	h, err := cli.ReadHypergraph(*mtx, fs.Arg(0), stdin)
+	h, err := cli.ReadHypergraphCtx(ctx, *mtx, fs.Arg(0), stdin)
 	if err != nil {
 		return err
 	}
 
 	switch {
 	case *decompose:
-		d := core.Decompose(h)
+		d, err := core.DecomposeCtx(ctx, h)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(stdout, "maximum core: %d\n", d.MaxK)
 		for _, lvl := range d.Profile() {
 			fmt.Fprintf(stdout, "  %d-core: %d vertices, %d hyperedges\n", lvl.K, lvl.Vertices, lvl.Edges)
@@ -69,16 +77,22 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		var r *core.Result
 		switch {
 		case *l > 1:
-			r = core.BiCore(h, *k, *l)
+			r, err = core.BiCoreCtx(ctx, h, *k, *l)
 		case *parallel > 0:
-			r = core.KCoreParallel(h, *k, *parallel)
+			r, err = core.KCoreParallelCtx(ctx, h, *k, *parallel)
 		default:
-			r = core.KCore(h, *k)
+			r, err = core.KCoreCtx(ctx, h, *k)
+		}
+		if err != nil {
+			return err
 		}
 		return report(stdout, h, r, *pajekPrefix, *quiet)
 	default:
 		_ = max
-		r := core.MaxCore(h)
+		r, err := core.MaxCoreCtx(ctx, h)
+		if err != nil {
+			return err
+		}
 		return report(stdout, h, r, *pajekPrefix, *quiet)
 	}
 }

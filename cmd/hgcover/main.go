@@ -16,6 +16,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -38,7 +39,8 @@ func main() {
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
+	defer cli.RecoverPanic(&err)
 	fs := flag.NewFlagSet("hgcover", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	weightScheme := fs.String("weights", "unit", "vertex weights: unit, degree2, or file:PATH (lines of \"name weight\" — the expert-preference weighting §4.2 suggests)")
@@ -49,11 +51,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	exact := fs.Bool("exact", false, "use exact branch-and-bound (small instances, r must be 1)")
 	mtx := fs.Bool("mtx", false, "input is a Matrix Market file")
 	quiet := fs.Bool("quiet", false, "suppress the member listing")
+	timeout := fs.Duration("timeout", 0, "abort if reading plus covering exceed this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cli.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
-	h, err := cli.ReadHypergraph(*mtx, fs.Arg(0), stdin)
+	h, err := cli.ReadHypergraphCtx(ctx, *mtx, fs.Arg(0), stdin)
 	if err != nil {
 		return err
 	}
@@ -115,7 +120,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 	default:
-		c, err = cover.GreedyMulticover(h, weights, req)
+		c, err = cover.GreedyMulticoverCtx(ctx, h, weights, req)
 		if err != nil {
 			return err
 		}

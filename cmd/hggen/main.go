@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 
+	"hyperplex/internal/cli"
 	"hyperplex/internal/dataset"
 	"hyperplex/internal/gen"
 	"hyperplex/internal/hypergraph"
@@ -33,7 +35,8 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	defer cli.RecoverPanic(&err)
 	fs := flag.NewFlagSet("hggen", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	ds := fs.String("dataset", "cellzome", "cellzome | proteome | random | matrix")
@@ -46,7 +49,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	name := fs.String("name", "bfw398a", "matrix: spec name from Table 1")
 	short := fs.Bool("short", false, "matrix: shrunken dimensions")
 	instanceDir := fs.String("instance", "", "cellzome: write the full instance (hypergraph, baits, annotations, core) to this directory")
+	timeout := fs.Duration("timeout", 0, "abort if generation exceeds this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := cli.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	// Generation runs in coarse stages; the deadline is checked between
+	// them rather than inside the generators.
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 
@@ -72,6 +83,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		w = f
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	switch *ds {
 	case "cellzome":
 		return writeHypergraph(w, stderr, dataset.Cellzome().H, *format)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -33,18 +34,22 @@ func main() {
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
+	defer cli.RecoverPanic(&err)
 	fs := flag.NewFlagSet("hgstats", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	mtx := fs.Bool("mtx", false, "input is a Matrix Market file")
 	smallworld := fs.Bool("smallworld", false, "compute exact diameter and average path length (all-pairs BFS)")
 	withCore := fs.Bool("core", false, "compute the maximum core")
 	judge := fs.Bool("judge", false, "judge both degree distributions against power-law and exponential fits")
+	timeout := fs.Duration("timeout", 0, "abort if the computation exceeds this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cli.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
-	h, err := cli.ReadHypergraph(*mtx, fs.Arg(0), stdin)
+	h, err := cli.ReadHypergraphCtx(ctx, *mtx, fs.Arg(0), stdin)
 	if err != nil {
 		return err
 	}
@@ -71,13 +76,19 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "hyperedge degrees: %v\n", stats.JudgeDistribution(stats.DegreeHistogram(h.EdgeDegrees()), 0.9))
 	}
 	if *smallworld {
-		sw := stats.SmallWorldStats(h, runtime.NumCPU())
+		sw, err := stats.SmallWorldStatsCtx(ctx, h, runtime.NumCPU())
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(stdout, "diameter = %d   average path length = %.3f (over %d connected pairs)\n",
 			sw.Diameter, sw.AvgPathLength, sw.Pairs)
 	}
 	if *withCore {
 		start := time.Now()
-		mc := core.MaxCore(h)
+		mc, err := core.MaxCoreCtx(ctx, h)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(stdout, "maximum core: %d-core with %d vertices and %d hyperedges (%.3fs)\n",
 			mc.K, mc.NumVertices, mc.NumEdges, time.Since(start).Seconds())
 	}

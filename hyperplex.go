@@ -27,6 +27,7 @@
 package hyperplex
 
 import (
+	"context"
 	"io"
 
 	"hyperplex/internal/bio"
@@ -38,6 +39,7 @@ import (
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/mmio"
 	"hyperplex/internal/pajek"
+	"hyperplex/internal/run"
 	"hyperplex/internal/stats"
 	"hyperplex/internal/xrand"
 )
@@ -108,6 +110,80 @@ func GraphKCore(g *Graph, k int) []bool { return core.GraphKCore(g, k) }
 // GraphMaxCore returns the maximum core level and membership of a
 // graph.
 func GraphMaxCore(g *Graph) (int, []bool) { return core.GraphMaxCore(g) }
+
+// ---- Cancellation and budgets -----------------------------------------
+//
+// Every kernel has a …Ctx variant that honors context cancellation and
+// deadlines at bounded checkpoint intervals and charges an optional
+// resource budget attached to the context.  The plain variants are
+// thin wrappers over context.Background().
+
+// Budget bounds a computation: maximum algorithm steps, maximum bytes
+// read/allocated by readers, maximum wall clock.  Zero fields are
+// unlimited.
+type Budget = run.Budget
+
+// ErrBudgetExceeded is returned (wrapped) by …Ctx APIs when a Budget
+// limit is hit.
+var ErrBudgetExceeded = run.ErrBudgetExceeded
+
+// WithBudget attaches a budget to a context; the returned meter
+// reports how much was consumed when the call returns.
+func WithBudget(ctx context.Context, b Budget) (context.Context, *run.Meter) {
+	return run.WithBudget(ctx, b)
+}
+
+// KCoreCtx is KCore with cancellation and budget checkpoints.
+func KCoreCtx(ctx context.Context, h *Hypergraph, k int) (*CoreResult, error) {
+	return core.KCoreCtx(ctx, h, k)
+}
+
+// MaxCoreCtx is MaxCore with cancellation and budget checkpoints.
+func MaxCoreCtx(ctx context.Context, h *Hypergraph) (*CoreResult, error) {
+	return core.MaxCoreCtx(ctx, h)
+}
+
+// DecomposeCtx is Decompose with cancellation and budget checkpoints.
+func DecomposeCtx(ctx context.Context, h *Hypergraph) (*Decomposition, error) {
+	return core.DecomposeCtx(ctx, h)
+}
+
+// BiCoreCtx is BiCore with cancellation and budget checkpoints.
+func BiCoreCtx(ctx context.Context, h *Hypergraph, k, l int) (*CoreResult, error) {
+	return core.BiCoreCtx(ctx, h, k, l)
+}
+
+// KCoreParallelCtx is KCoreParallel with cancellation and budget
+// checkpoints; worker panics are recovered and returned as a
+// *core.WorkerPanicError.
+func KCoreParallelCtx(ctx context.Context, h *Hypergraph, k, workers int) (*CoreResult, error) {
+	return core.KCoreParallelCtx(ctx, h, k, workers)
+}
+
+// GreedyCoverCtx is GreedyCover with cancellation and budget
+// checkpoints.
+func GreedyCoverCtx(ctx context.Context, h *Hypergraph, weights []float64) (*Cover, error) {
+	return cover.GreedyCtx(ctx, h, weights)
+}
+
+// GreedyMulticoverCtx is GreedyMulticover with cancellation and budget
+// checkpoints.
+func GreedyMulticoverCtx(ctx context.Context, h *Hypergraph, weights []float64, req []int) (*Cover, error) {
+	return cover.GreedyMulticoverCtx(ctx, h, weights, req)
+}
+
+// SmallWorldStatsCtx is SmallWorldStats with cancellation and budget
+// checkpoints.  On error the returned summary is a partial sampled
+// estimate over the sources completed so far.
+func SmallWorldStatsCtx(ctx context.Context, h *Hypergraph, workers int) (SmallWorld, error) {
+	return stats.SmallWorldStatsCtx(ctx, h, workers)
+}
+
+// ReadHypergraphCtx is ReadHypergraph with cancellation and budget
+// checkpoints (bytes read charge the budget's alloc limit).
+func ReadHypergraphCtx(ctx context.Context, r io.Reader) (*Hypergraph, error) {
+	return hypergraph.ReadTextCtx(ctx, r)
+}
 
 // ---- Vertex covers ----------------------------------------------------
 

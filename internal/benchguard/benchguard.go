@@ -1,0 +1,159 @@
+// Package benchguard implements the benchmark regression guard: it
+// parses `go test -bench` output, normalizes it against a calibration
+// benchmark that measures raw machine speed, and compares the pinned
+// guard benchmarks (see guard_bench_test.go) to a committed baseline.
+// A kernel that got more than the threshold factor slower than the
+// calibrated baseline fails the guard.  cmd/benchguard is the CLI.
+package benchguard
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CalibrateName is the benchmark whose ns/op measures raw machine
+// speed.  Baseline values for all other benchmarks are scaled by the
+// ratio current-calibration / baseline-calibration before comparison,
+// so the guard tolerates running on slower or faster hardware than the
+// machine that recorded the baseline.
+const CalibrateName = "BenchmarkGuardCalibrate"
+
+// DefaultThreshold fails a benchmark that is more than 30% slower than
+// its calibrated baseline.
+const DefaultThreshold = 1.30
+
+// Baseline is the committed reference file.
+type Baseline struct {
+	// Note is free-form provenance (machine, date) for humans.
+	Note string `json:"note,omitempty"`
+	// NsPerOp maps benchmark name (with the -GOMAXPROCS suffix
+	// stripped) to the recorded ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// LoadBaseline reads a baseline JSON file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("benchguard: parsing %s: %w", path, err)
+	}
+	if len(b.NsPerOp) == 0 {
+		return nil, fmt.Errorf("benchguard: baseline %s has no entries", path)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline as stable, human-diffable JSON.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ParseBench extracts ns/op per benchmark from `go test -bench`
+// output.  The -N GOMAXPROCS suffix is stripped so results compare
+// across machines; a benchmark appearing more than once keeps its
+// fastest run.
+func ParseBench(r io.Reader) (map[string]float64, error) {
+	results := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if fields[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if prev, ok := results[name]; !ok || ns < prev {
+			results[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("benchguard: no benchmark results found in input")
+	}
+	return results, nil
+}
+
+// Regression describes one benchmark that exceeded the threshold.
+type Regression struct {
+	Name      string
+	CurrentNs float64
+	// AllowedNs is the calibrated baseline times the threshold.
+	AllowedNs float64
+	// Ratio is CurrentNs over the calibrated baseline (1.0 = parity).
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f ns/op is %.2fx the calibrated baseline (allowed %.0f ns/op)",
+		r.Name, r.CurrentNs, r.Ratio, r.AllowedNs)
+}
+
+// Compare checks every baseline benchmark against the current results,
+// scaling by the calibration ratio.  It returns the regressions (empty
+// means the guard passes) and errors if the calibration benchmark or
+// any pinned benchmark is missing from current.
+func Compare(baseline *Baseline, current map[string]float64, threshold float64) ([]Regression, error) {
+	baseCal, ok := baseline.NsPerOp[CalibrateName]
+	if !ok || baseCal <= 0 {
+		return nil, fmt.Errorf("benchguard: baseline is missing %s", CalibrateName)
+	}
+	curCal, ok := current[CalibrateName]
+	if !ok || curCal <= 0 {
+		return nil, fmt.Errorf("benchguard: current results are missing %s", CalibrateName)
+	}
+	scale := curCal / baseCal
+
+	names := make([]string, 0, len(baseline.NsPerOp))
+	for name := range baseline.NsPerOp {
+		if name != CalibrateName {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var regressions []Regression
+	for _, name := range names {
+		cur, ok := current[name]
+		if !ok {
+			return nil, fmt.Errorf("benchguard: current results are missing %s (was it renamed?)", name)
+		}
+		calibrated := baseline.NsPerOp[name] * scale
+		allowed := calibrated * threshold
+		if cur > allowed {
+			regressions = append(regressions, Regression{
+				Name:      name,
+				CurrentNs: cur,
+				AllowedNs: allowed,
+				Ratio:     cur / calibrated,
+			})
+		}
+	}
+	return regressions, nil
+}

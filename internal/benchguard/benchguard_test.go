@@ -1,0 +1,119 @@
+package benchguard
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: hyperplex/internal/benchguard
+cpu: some machine
+BenchmarkGuardCalibrate-8   	    1000	   1000000 ns/op
+BenchmarkGuardKCore-8       	     500	   2000000 ns/op	1024 B/op	3 allocs/op
+BenchmarkGuardKCore-8       	     600	   1900000 ns/op	1024 B/op	3 allocs/op
+PASS
+ok  	hyperplex/internal/benchguard	3.1s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if got["BenchmarkGuardCalibrate"] != 1_000_000 {
+		t.Fatalf("calibrate = %v", got["BenchmarkGuardCalibrate"])
+	}
+	// Duplicate runs keep the fastest.
+	if got["BenchmarkGuardKCore"] != 1_900_000 {
+		t.Fatalf("kcore = %v, want the fastest of the two runs", got["BenchmarkGuardKCore"])
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := ParseBench(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("want an error for output with no benchmark lines")
+	}
+}
+
+func TestCompareCalibrationScaling(t *testing.T) {
+	base := &Baseline{NsPerOp: map[string]float64{
+		CalibrateName:         1_000_000,
+		"BenchmarkGuardKCore": 2_000_000,
+	}}
+	// A machine running calibration 2x slower is allowed 2x the ns/op
+	// (times the threshold) before the guard trips.
+	current := map[string]float64{
+		CalibrateName:         2_000_000,
+		"BenchmarkGuardKCore": 5_000_000, // 1.25x calibrated — inside 1.30
+	}
+	regs, err := Compare(base, current, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("want no regressions, got %v", regs)
+	}
+	current["BenchmarkGuardKCore"] = 5_500_000 // 1.375x calibrated — over
+	regs, err = Compare(base, current, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkGuardKCore" {
+		t.Fatalf("want exactly the KCore regression, got %v", regs)
+	}
+	if regs[0].Ratio < 1.37 || regs[0].Ratio > 1.38 {
+		t.Fatalf("ratio = %v, want ~1.375", regs[0].Ratio)
+	}
+}
+
+func TestCompareMissingBench(t *testing.T) {
+	base := &Baseline{NsPerOp: map[string]float64{
+		CalibrateName:         1_000_000,
+		"BenchmarkGuardKCore": 2_000_000,
+	}}
+	if _, err := Compare(base, map[string]float64{"BenchmarkGuardKCore": 1}, DefaultThreshold); err == nil {
+		t.Fatal("want an error when the calibration benchmark is missing")
+	}
+	if _, err := Compare(base, map[string]float64{CalibrateName: 1_000_000}, DefaultThreshold); err == nil {
+		t.Fatal("want an error when a pinned benchmark is missing")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	b := &Baseline{Note: "test", NsPerOp: map[string]float64{CalibrateName: 42}}
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != "test" || got.NsPerOp[CalibrateName] != 42 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestCommittedBaselineCoversGuards ensures the checked-in baseline
+// stays in sync with the pinned benchmark set in guard_bench_test.go.
+func TestCommittedBaselineCoversGuards(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join("testdata", "baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		CalibrateName,
+		"BenchmarkGuardKCore",
+		"BenchmarkGuardGreedyMulticover",
+		"BenchmarkGuardShortestPath",
+	} {
+		if _, ok := b.NsPerOp[name]; !ok {
+			t.Errorf("committed baseline is missing %s — re-record with cmd/benchguard -update", name)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperplex/internal/check"
+	"hyperplex/internal/core"
+	"hyperplex/internal/cover"
+	"hyperplex/internal/dataset"
+	"hyperplex/internal/failpoint"
+	"hyperplex/internal/gen"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/mmio"
+	"hyperplex/internal/pajek"
+	"hyperplex/internal/run"
+	"hyperplex/internal/stats"
+	"hyperplex/internal/xrand"
+)
+
+// Shared fixtures: a hypergraph large enough that every periodic
+// checkpoint is reached, its serialized forms for the reader sites,
+// and a saved dataset instance for dataset.load.
+var (
+	bigH     *hypergraph.Hypergraph
+	textData []byte
+	mtxData  []byte
+	netData  []byte
+	instDir  string
+)
+
+func TestMain(m *testing.M) {
+	bigH = gen.RandomHypergraph(400, 300, 6, xrand.New(0xC11A05))
+	var buf bytes.Buffer
+	if err := hypergraph.WriteText(&buf, bigH); err != nil {
+		panic(err)
+	}
+	textData = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := mmio.Write(&buf, mmio.FromHypergraph(bigH)); err != nil {
+		panic(err)
+	}
+	mtxData = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := pajek.WriteNet(&buf, bigH, nil, nil); err != nil {
+		panic(err)
+	}
+	netData = append([]byte(nil), buf.Bytes()...)
+
+	dir, err := os.MkdirTemp("", "chaos-instance-")
+	if err != nil {
+		panic(err)
+	}
+	if err := dataset.Cellzome().Save(dir); err != nil {
+		panic(err)
+	}
+	instDir = dir
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// drivers maps every registered failpoint site to a function that
+// exercises it through the public Ctx APIs.  Each driver validates any
+// successful result with the independent checkers and returns the
+// call's error for the harness to judge.
+func drivers() map[string]func(t *testing.T, ctx context.Context) error {
+	return map[string]func(t *testing.T, ctx context.Context) error{
+		"core.peel.step": func(t *testing.T, ctx context.Context) error {
+			r, err := core.KCoreCtx(ctx, bigH, 2)
+			if err == nil {
+				if verr := check.ValidCore(bigH, 2, r); verr != nil {
+					t.Errorf("successful KCoreCtx result invalid: %v", verr)
+				}
+			} else if r != nil {
+				t.Errorf("KCoreCtx returned a result alongside error %v", err)
+			}
+			return err
+		},
+		"core.parallel.worker": func(t *testing.T, ctx context.Context) error {
+			r, err := core.KCoreParallelCtx(ctx, bigH, 2, 4)
+			if err == nil {
+				if verr := check.ValidCore(bigH, 2, r); verr != nil {
+					t.Errorf("successful KCoreParallelCtx result invalid: %v", verr)
+				}
+			} else if r != nil {
+				t.Errorf("KCoreParallelCtx returned a result alongside error %v", err)
+			}
+			return err
+		},
+		"cover.greedy.pop": func(t *testing.T, ctx context.Context) error {
+			c, err := cover.GreedyCtx(ctx, bigH, nil)
+			if err == nil {
+				if verr := check.ValidCover(bigH, c, nil, nil); verr != nil {
+					t.Errorf("successful GreedyCtx result invalid: %v", verr)
+				}
+			} else if c != nil {
+				t.Errorf("GreedyCtx returned a cover alongside error %v", err)
+			}
+			return err
+		},
+		"stats.bfs.source": func(t *testing.T, ctx context.Context) error {
+			sw, err := stats.SmallWorldStatsCtx(ctx, bigH, 4)
+			// Success or not, the (possibly partial, sampled) summary
+			// must be internally consistent.
+			if sw.Sources < 0 || sw.Sources > bigH.NumVertices() {
+				t.Errorf("SmallWorldStatsCtx reports %d sources for %d vertices", sw.Sources, bigH.NumVertices())
+			}
+			if sw.Diameter < 0 || sw.AvgPathLength < 0 || sw.Pairs < 0 {
+				t.Errorf("SmallWorldStatsCtx summary has negative fields: %+v", sw)
+			}
+			if err == nil && sw.Sources != bigH.NumVertices() {
+				t.Errorf("successful SmallWorldStatsCtx completed %d of %d sources", sw.Sources, bigH.NumVertices())
+			}
+			return err
+		},
+		"hypergraph.read.line": func(t *testing.T, ctx context.Context) error {
+			h, err := hypergraph.ReadTextCtx(ctx, bytes.NewReader(textData))
+			if err == nil && h.NumEdges() != bigH.NumEdges() {
+				t.Errorf("round trip read %d edges, want %d", h.NumEdges(), bigH.NumEdges())
+			}
+			return err
+		},
+		"mmio.read.entry": func(t *testing.T, ctx context.Context) error {
+			m, err := mmio.ReadCtx(ctx, bytes.NewReader(mtxData))
+			if err == nil && m.NNZ() != bigH.NumPins() {
+				t.Errorf("round trip read %d entries, want %d", m.NNZ(), bigH.NumPins())
+			}
+			return err
+		},
+		"pajek.read.line": func(t *testing.T, ctx context.Context) error {
+			info, err := pajek.ReadNetCtx(ctx, bytes.NewReader(netData))
+			if err == nil && len(info.Labels) != bigH.NumVertices()+bigH.NumEdges() {
+				t.Errorf("round trip read %d labels, want %d", len(info.Labels), bigH.NumVertices()+bigH.NumEdges())
+			}
+			return err
+		},
+		"dataset.load": func(t *testing.T, ctx context.Context) error {
+			inst, err := dataset.LoadInstanceCtx(ctx, instDir)
+			if err == nil && inst.H.NumVertices() == 0 {
+				t.Error("successful LoadInstanceCtx returned an empty instance")
+			}
+			return err
+		},
+	}
+}
+
+var errBoom = errors.New("boom")
+
+// cleanError reports whether err is one of the typed failures the
+// robustness contract allows: an injected fault, a context error, a
+// budget violation, or a recovered worker panic.
+func cleanError(err error) bool {
+	var wpe *core.WorkerPanicError
+	return errors.Is(err, failpoint.ErrInjected) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, run.ErrBudgetExceeded) ||
+		errors.As(err, &wpe) ||
+		strings.Contains(err.Error(), "worker panic")
+}
+
+// runScenario arms site, runs drive under a panic boundary, disarms,
+// and asserts the robustness contract: clean typed errors, injected
+// panics either recovered by the library or surfaced verbatim, and no
+// leaked goroutines.
+func runScenario(t *testing.T, siteName string, arm failpoint.Arm, ctx context.Context, drive func(*testing.T, context.Context) error) {
+	t.Helper()
+	before := check.GoroutineSnapshot()
+	if err := failpoint.Enable(siteName, arm); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable(siteName)
+
+	var err error
+	panicked := func() (x any) {
+		defer func() { x = recover() }()
+		err = drive(t, ctx)
+		return nil
+	}()
+	fired := failpoint.Fired(siteName)
+	failpoint.Disable(siteName)
+
+	if lerr := check.CheckNoLeaks(before, 2*time.Second); lerr != nil {
+		t.Error(lerr)
+	}
+
+	switch {
+	case panicked != nil:
+		// Only a panic arm may escape, and only with the marker value —
+		// anything else is a genuine crash.
+		if arm.Mode != failpoint.ModePanic {
+			t.Fatalf("%v arm caused a panic: %v", arm.Mode, panicked)
+		}
+		if p, ok := panicked.(failpoint.Panic); !ok || p.Site != siteName {
+			t.Fatalf("panic arm threw %v, want failpoint.Panic{Site: %q}", panicked, siteName)
+		}
+	case err != nil:
+		if !cleanError(err) {
+			t.Fatalf("untyped error: %v", err)
+		}
+		if fired == 0 && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("error %v without the site firing", err)
+		}
+		if arm.Err != nil && errors.Is(err, failpoint.ErrInjected) && !errors.Is(err, errBoom) {
+			t.Fatalf("injected error %v does not wrap the arm's custom error", err)
+		}
+	default:
+		// Success is fine when the schedule kept the site from firing
+		// (or a delay arm merely slowed the call down), but an error arm
+		// that fired must not produce a clean return.
+		if arm.Mode == failpoint.ModeError && fired > 0 {
+			t.Fatalf("error arm fired %d time(s) but the call succeeded", fired)
+		}
+	}
+}
+
+// TestChaosEverySiteEveryArm is the main chaos matrix: every
+// registered site crossed with every arm kind, on inputs big enough
+// for every periodic checkpoint to be reached.
+func TestChaosEverySiteEveryArm(t *testing.T) {
+	defer failpoint.DisableAll()
+	noDeadline := func() (context.Context, context.CancelFunc) {
+		return context.WithCancel(context.Background())
+	}
+	arms := []struct {
+		name string
+		arm  failpoint.Arm
+		ctx  func() (context.Context, context.CancelFunc)
+	}{
+		{"error", failpoint.Arm{Mode: failpoint.ModeError}, noDeadline},
+		{"error-custom", failpoint.Arm{Mode: failpoint.ModeError, Err: errBoom}, noDeadline},
+		{"error-scheduled", failpoint.Arm{Mode: failpoint.ModeError, After: 2, Times: 1}, noDeadline},
+		{"panic", failpoint.Arm{Mode: failpoint.ModePanic}, noDeadline},
+		{"delay", failpoint.Arm{Mode: failpoint.ModeDelay, Delay: 30 * time.Millisecond}, func() (context.Context, context.CancelFunc) {
+			return context.WithTimeout(context.Background(), 5*time.Millisecond)
+		}},
+	}
+	ds := drivers()
+	for _, siteName := range failpoint.Sites() {
+		drive, ok := ds[siteName]
+		if !ok {
+			t.Errorf("registered failpoint %q has no chaos driver — add one to drivers()", siteName)
+			continue
+		}
+		for _, a := range arms {
+			t.Run(siteName+"/"+a.name, func(t *testing.T) {
+				ctx, cancel := a.ctx()
+				defer cancel()
+				runScenario(t, siteName, a.arm, ctx, drive)
+			})
+		}
+	}
+}
+
+// TestChaosDisabledIsClean runs every driver with no site armed: all
+// calls must succeed and validate.  This also pins the contract that
+// merely importing failpoint-instrumented packages injects nothing.
+func TestChaosDisabledIsClean(t *testing.T) {
+	for siteName, drive := range drivers() {
+		t.Run(siteName, func(t *testing.T) {
+			if err := drive(t, context.Background()); err != nil {
+				t.Fatalf("no arm enabled, got error: %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosCancelledContext runs every driver with an already-expired
+// context: each must fail fast with context.Canceled and return no
+// half-built result (the drivers assert that themselves).
+func TestChaosCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for siteName, drive := range drivers() {
+		t.Run(siteName, func(t *testing.T) {
+			err := drive(t, ctx)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled, got %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosBudget runs every driver under a 1-step budget: each must
+// stop with run.ErrBudgetExceeded once it reaches a checkpoint that
+// charges steps (every driver's workload is far beyond one step).
+func TestChaosBudget(t *testing.T) {
+	for siteName, drive := range drivers() {
+		t.Run(siteName, func(t *testing.T) {
+			ctx, _ := run.WithBudget(context.Background(), run.Budget{MaxSteps: 1})
+			err := drive(t, ctx)
+			if !errors.Is(err, run.ErrBudgetExceeded) {
+				t.Fatalf("want ErrBudgetExceeded, got %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosErrorArmOverSweep drives the kernel sites with an error arm
+// across the differential sweep instances: small and degenerate inputs
+// must either finish with a valid result (the site never fired) or
+// fail with the injected error — never crash or wedge.
+func TestChaosErrorArmOverSweep(t *testing.T) {
+	defer failpoint.DisableAll()
+	instances := check.Instances(12, 0xFA117)
+	kernels := []struct {
+		site  string
+		drive func(ctx context.Context, h *hypergraph.Hypergraph) error
+	}{
+		{"core.peel.step", func(ctx context.Context, h *hypergraph.Hypergraph) error {
+			r, err := core.KCoreCtx(ctx, h, 2)
+			if err == nil {
+				return check.ValidCore(h, 2, r)
+			}
+			return err
+		}},
+		{"core.parallel.worker", func(ctx context.Context, h *hypergraph.Hypergraph) error {
+			r, err := core.KCoreParallelCtx(ctx, h, 2, 3)
+			if err == nil {
+				return check.ValidCore(h, 2, r)
+			}
+			return err
+		}},
+		{"cover.greedy.pop", func(ctx context.Context, h *hypergraph.Hypergraph) error {
+			c, err := cover.GreedyCtx(ctx, h, nil)
+			if err == nil {
+				return check.ValidCover(h, c, nil, nil)
+			}
+			return err
+		}},
+		{"stats.bfs.source", func(ctx context.Context, h *hypergraph.Hypergraph) error {
+			_, err := stats.SmallWorldStatsCtx(ctx, h, 2)
+			return err
+		}},
+	}
+	for _, k := range kernels {
+		t.Run(k.site, func(t *testing.T) {
+			before := check.GoroutineSnapshot()
+			if err := failpoint.Enable(k.site, failpoint.Arm{Mode: failpoint.ModeError}); err != nil {
+				t.Fatal(err)
+			}
+			defer failpoint.Disable(k.site)
+			for i, h := range instances {
+				if err := k.drive(context.Background(), h); err != nil && !cleanError(err) {
+					t.Fatalf("instance %d: %v", i, err)
+				}
+			}
+			failpoint.Disable(k.site)
+			if err := check.CheckNoLeaks(before, 2*time.Second); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestChaosWorkerPanicDetail pins the parallel peeler's panic
+// boundary: an injected worker panic must come back as a
+// *core.WorkerPanicError carrying the site marker and a stack, with no
+// goroutine leaked.
+func TestChaosWorkerPanicDetail(t *testing.T) {
+	before := check.GoroutineSnapshot()
+	if err := failpoint.Enable("core.parallel.worker", failpoint.Arm{Mode: failpoint.ModePanic}); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable("core.parallel.worker")
+	r, err := core.KCoreParallelCtx(context.Background(), bigH, 2, 4)
+	failpoint.Disable("core.parallel.worker")
+	if r != nil {
+		t.Fatalf("got a result alongside the injected panic: %+v", r)
+	}
+	var wpe *core.WorkerPanicError
+	if !errors.As(err, &wpe) {
+		t.Fatalf("want *core.WorkerPanicError, got %v", err)
+	}
+	if p, ok := wpe.Value.(failpoint.Panic); !ok || p.Site != "core.parallel.worker" {
+		t.Fatalf("recovered value %v, want the failpoint marker", wpe.Value)
+	}
+	if len(wpe.Stack) == 0 {
+		t.Error("recovered panic carries no stack")
+	}
+	if err := check.CheckNoLeaks(before, 2*time.Second); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChaosFiredAccounting sanity-checks the determinism story end to
+// end: the same workload under the same schedule fires the same number
+// of times.  A zero-delay arm observes every checkpoint without
+// perturbing the run.
+func TestChaosFiredAccounting(t *testing.T) {
+	defer failpoint.DisableAll()
+	counts := [2]int{}
+	for trial := range counts {
+		if err := failpoint.Enable("hypergraph.read.line", failpoint.Arm{Mode: failpoint.ModeDelay}); err != nil {
+			t.Fatal(err)
+		}
+		h, err := hypergraph.ReadTextCtx(context.Background(), bytes.NewReader(textData))
+		if err != nil || h == nil {
+			t.Fatalf("trial %d: unexpected failure: %v", trial, err)
+		}
+		counts[trial] = failpoint.Fired("hypergraph.read.line")
+		failpoint.Disable("hypergraph.read.line")
+	}
+	if counts[0] == 0 {
+		t.Fatal("the fixture never reached a read checkpoint; enlarge it")
+	}
+	if counts[0] != counts[1] {
+		t.Fatalf("fire counts differ across identical runs: %v", counts)
+	}
+}

@@ -1,0 +1,16 @@
+// Package chaos hosts the fault-injection test suite: it iterates
+// every failpoint site registered by the library (see
+// internal/failpoint) crossed with every arm (error, panic, delay
+// under a deadline) and asserts the robustness contract of the Ctx
+// APIs:
+//
+//   - faults surface as clean typed errors (wrapping
+//     failpoint.ErrInjected, context errors, run.ErrBudgetExceeded, or
+//     a recovered-worker-panic error) — never as an unrecovered crash;
+//   - any result returned alongside success still satisfies the
+//     invariant checkers in internal/check (ValidCore, ValidCover);
+//   - no goroutine outlives the interrupted call.
+//
+// The package contains no library code; the suite lives in the test
+// files so production binaries never link it.
+package chaos

@@ -1,0 +1,146 @@
+package check
+
+import (
+	"fmt"
+
+	"hyperplex/internal/graph"
+	"hyperplex/internal/hypergraph"
+)
+
+// Naive oracles for the graph expansions of internal/graph (§1.2's
+// baseline models).  Each recomputes the expected edge set with plain
+// maps and nested loops, sharing no code with the CSR implementations,
+// so the differential driver can compare the two.
+
+// pairKey normalizes an undirected edge to (min, max).
+func pairKey(u, v int32) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}
+}
+
+// CliqueEdges returns the edge set of the clique expansion: every
+// unordered pair of distinct co-members of some hyperedge.
+func CliqueEdges(h *hypergraph.Hypergraph) map[[2]int32]bool {
+	want := make(map[[2]int32]bool)
+	for f := 0; f < h.NumEdges(); f++ {
+		m := h.Vertices(f)
+		for i := 0; i < len(m); i++ {
+			for j := i + 1; j < len(m); j++ {
+				if m[i] != m[j] {
+					want[pairKey(m[i], m[j])] = true
+				}
+			}
+		}
+	}
+	return want
+}
+
+// StarEdges returns the edge set of the star expansion under the same
+// bait rule as graph.StarExpansion: baitOf[f] if given and ≥ 0, else
+// the member with the highest degree (ties to the lowest ID).  Degrees
+// are recounted from the pin lists rather than taken from the
+// hypergraph's cached values.
+func StarEdges(h *hypergraph.Hypergraph, baitOf []int) map[[2]int32]bool {
+	deg := make(map[int32]int)
+	for f := 0; f < h.NumEdges(); f++ {
+		for _, v := range h.Vertices(f) {
+			deg[v]++
+		}
+	}
+	want := make(map[[2]int32]bool)
+	for f := 0; f < h.NumEdges(); f++ {
+		m := h.Vertices(f)
+		if len(m) < 2 {
+			continue
+		}
+		bait := -1
+		if baitOf != nil {
+			bait = baitOf[f]
+		}
+		if bait < 0 {
+			best := int32(-1)
+			for _, v := range m {
+				if best < 0 || deg[v] > deg[best] {
+					best = v
+				}
+			}
+			bait = int(best)
+		}
+		for _, v := range m {
+			if int(v) != bait {
+				want[pairKey(int32(bait), v)] = true
+			}
+		}
+	}
+	return want
+}
+
+// IntersectionEdges returns, for every unordered pair of hyperedges
+// sharing at least one vertex, the size of their intersection —
+// computed by materializing member sets and comparing all pairs.
+func IntersectionEdges(h *hypergraph.Hypergraph) map[[2]int32]int {
+	ne := h.NumEdges()
+	members := make([]map[int32]bool, ne)
+	for f := 0; f < ne; f++ {
+		members[f] = make(map[int32]bool, h.EdgeDegree(f))
+		for _, v := range h.Vertices(f) {
+			members[f][v] = true
+		}
+	}
+	want := make(map[[2]int32]int)
+	for f := 0; f < ne; f++ {
+		for g := f + 1; g < ne; g++ {
+			shared := 0
+			for v := range members[f] {
+				if members[g][v] {
+					shared++
+				}
+			}
+			if shared > 0 {
+				want[[2]int32{int32(f), int32(g)}] = shared
+			}
+		}
+	}
+	return want
+}
+
+// BipartiteEdges returns the edge set of B(H): one edge per pin,
+// between vertex v and hyperedge node |V|+f.
+func BipartiteEdges(h *hypergraph.Hypergraph) map[[2]int32]bool {
+	nv := int32(h.NumVertices())
+	want := make(map[[2]int32]bool)
+	for f := 0; f < h.NumEdges(); f++ {
+		for _, v := range h.Vertices(f) {
+			want[pairKey(v, nv+int32(f))] = true
+		}
+	}
+	return want
+}
+
+// SameGraph checks that g has exactly n vertices and exactly the edges
+// of want (in both adjacency directions).
+func SameGraph(g *graph.Graph, n int, want map[[2]int32]bool) error {
+	if g.NumVertices() != n {
+		return fmt.Errorf("check: graph has %d vertices, want %d", g.NumVertices(), n)
+	}
+	if g.NumEdges() != len(want) {
+		return fmt.Errorf("check: graph has %d edges, want %d", g.NumEdges(), len(want))
+	}
+	for e := range want {
+		if !g.HasEdge(int(e[0]), int(e[1])) || !g.HasEdge(int(e[1]), int(e[0])) {
+			return fmt.Errorf("check: graph is missing edge (%d,%d)", e[0], e[1])
+		}
+	}
+	// Edge counts match and every wanted edge is present, so no edge of
+	// g can be outside want; still verify degree consistency both ways.
+	total := 0
+	for v := 0; v < n; v++ {
+		total += g.Degree(v)
+	}
+	if total != 2*len(want) {
+		return fmt.Errorf("check: degree sum %d, want %d", total, 2*len(want))
+	}
+	return nil
+}

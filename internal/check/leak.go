@@ -1,0 +1,91 @@
+package check
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GoroutineSnapshot returns one header line ("goroutine N [state]: ...
+// created by F") per live goroutine, sorted, for leak detection by
+// snapshot-and-diff.  The goroutine ID is stripped so that a goroutine
+// that merely changed ID between snapshots does not register as a
+// leak; the creation site (the "created by" frame) is appended so two
+// goroutines parked in the same state but born in different places
+// stay distinguishable.
+func GoroutineSnapshot() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		lines := strings.Split(block, "\n")
+		header := lines[0]
+		if !strings.HasPrefix(header, "goroutine ") {
+			continue
+		}
+		// "goroutine 17 [chan receive]:" → "[chan receive]".
+		if i := strings.Index(header, " ["); i >= 0 {
+			header = header[i+1:]
+		}
+		created := ""
+		for _, l := range lines[1:] {
+			if strings.HasPrefix(l, "created by ") {
+				created = strings.TrimSpace(l)
+				break
+			}
+		}
+		out = append(out, header+" "+created)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckNoLeaks compares the current goroutines against a snapshot
+// taken before the operation under test, retrying for up to window so
+// goroutines that are merely still winding down (worker pools draining
+// after cancellation) are not reported.  It returns nil when every
+// goroutine either existed before or has exited, and otherwise an
+// error listing the leaked headers.
+func CheckNoLeaks(before []string, window time.Duration) error {
+	deadline := time.Now().Add(window)
+	for {
+		leaked := diffGoroutines(before, GoroutineSnapshot())
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("check: %d leaked goroutine(s):\n  %s",
+				len(leaked), strings.Join(leaked, "\n  "))
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// diffGoroutines returns the entries of after not accounted for by
+// before, treating equal headers as interchangeable (multiset
+// difference over the sorted slices).
+func diffGoroutines(before, after []string) []string {
+	var leaked []string
+	i := 0
+	for _, a := range after {
+		for i < len(before) && before[i] < a {
+			i++
+		}
+		if i < len(before) && before[i] == a {
+			i++
+			continue
+		}
+		leaked = append(leaked, a)
+	}
+	return leaked
+}

@@ -6,9 +6,11 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/mmio"
@@ -18,6 +20,13 @@ import (
 // empty), in the native text format or — when mtx is true — as a
 // Matrix Market file whose columns become hyperedges.
 func ReadHypergraph(mtx bool, path string, stdin io.Reader) (*hypergraph.Hypergraph, error) {
+	return ReadHypergraphCtx(context.Background(), mtx, path, stdin)
+}
+
+// ReadHypergraphCtx is ReadHypergraph honoring cancellation, deadline
+// and any run.Budget attached to ctx (forwarded to the underlying
+// format readers).
+func ReadHypergraphCtx(ctx context.Context, mtx bool, path string, stdin io.Reader) (*hypergraph.Hypergraph, error) {
 	var r io.Reader = stdin
 	if path != "" {
 		f, err := os.Open(path)
@@ -28,13 +37,38 @@ func ReadHypergraph(mtx bool, path string, stdin io.Reader) (*hypergraph.Hypergr
 		r = f
 	}
 	if mtx {
-		m, err := mmio.Read(r)
+		m, err := mmio.ReadCtx(ctx, r)
 		if err != nil {
 			return nil, err
 		}
 		return mmio.ToHypergraph(m)
 	}
-	return hypergraph.ReadText(r)
+	return hypergraph.ReadTextCtx(ctx, r)
+}
+
+// WithTimeout returns ctx bounded by the -timeout flag value: a zero
+// or negative timeout means no bound (the cancel func is still
+// non-nil and must be deferred).
+func WithTimeout(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, timeout)
+}
+
+// RecoverPanic converts a panic in a command's run function into the
+// error return, so an injected fault or latent bug reports cleanly
+// instead of crashing with a stack trace.  Use as
+//
+//	defer cli.RecoverPanic(&err)
+func RecoverPanic(err *error) {
+	if x := recover(); x != nil {
+		if e, ok := x.(error); ok {
+			*err = fmt.Errorf("internal error: %w", e)
+			return
+		}
+		*err = fmt.Errorf("internal error: panic: %v", x)
+	}
 }
 
 // VertexLabel returns the vertex's name, or a stable fallback.

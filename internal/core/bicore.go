@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"hyperplex/internal/hypergraph"
 )
 
@@ -17,7 +19,20 @@ import (
 // when empty, non-maximal, or smaller than l; vertices die when their
 // degree drops below k.
 func BiCore(h *hypergraph.Hypergraph, k, l int) *Result {
-	p := newPeeler(h)
+	r, err := BiCoreCtx(context.Background(), h, k, l)
+	if err != nil {
+		panic(err) // only reachable through an armed failpoint
+	}
+	return r
+}
+
+// BiCoreCtx is BiCore honoring cancellation, deadline and any
+// run.Budget attached to ctx, checked every bounded number of peel
+// operations.  On cancellation or budget exhaustion it returns
+// (nil, err).
+func BiCoreCtx(ctx context.Context, h *hypergraph.Hypergraph, k, l int) (r *Result, err error) {
+	defer recoverPeelAbort(&err)
+	p := newPeeler(ctx, h)
 	if l < 1 {
 		l = 1
 	}
@@ -37,10 +52,10 @@ func BiCore(h *hypergraph.Hypergraph, k, l int) *Result {
 	}
 	if k < 1 {
 		p.peelTo(1)
-		return p.result(0)
+		return p.result(0), nil
 	}
 	p.peelTo(k)
-	return p.result(k)
+	return p.result(k), nil
 }
 
 // BiCoreDecomposeL returns, for fixed l, the maximum k with a

@@ -7,6 +7,7 @@ package core_test
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"hyperplex/internal/check"
 	"hyperplex/internal/core"
@@ -42,8 +43,15 @@ func TestDifferentialKCore(t *testing.T) {
 
 // TestDifferentialKCoreParallel exercises the concurrent peeler with 1,
 // 2 and NumCPU workers (run under -race in CI) and requires exact
-// agreement with the sequential algorithm plus the invariant checker.
+// agreement with the sequential algorithm plus the invariant checker,
+// and that no worker goroutine outlives the calls.
 func TestDifferentialKCoreParallel(t *testing.T) {
+	snapshot := check.GoroutineSnapshot()
+	defer func() {
+		if err := check.CheckNoLeaks(snapshot, 2*time.Second); err != nil {
+			t.Error(err)
+		}
+	}()
 	workers := []int{1, 2, runtime.NumCPU()}
 	for i, h := range check.Instances(58, 0xC04E2) {
 		for _, k := range []int{1, 2, 3} {

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+
+	"hyperplex/internal/failpoint"
 	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/run"
 )
 
 // Result describes a k-core of a hypergraph as membership slices over
@@ -94,6 +98,9 @@ func (d *Decomposition) Profile() []CoreLevel {
 type peeler struct {
 	h      *hypergraph.Hypergraph
 	k      int
+	ctx    context.Context
+	meter  *run.Meter
+	ops    int // operations since the last checkpoint
 	vAlive []bool
 	eAlive []bool
 	vDeg   []int
@@ -115,14 +122,52 @@ type peeler struct {
 	aliveV, aliveE int
 }
 
+// fpPeelStep fires at the sequential peeler's checkpoints (overlap
+// construction and the deletion cascade).
+var fpPeelStep = failpoint.Register("core.peel.step")
+
+// peelCheckEvery is the number of elementary peel operations between
+// cancellation/budget checkpoints — small enough that even the crafted
+// sweep instances cross one, cheap enough to vanish in benchmarks.
+const peelCheckEvery = 64
+
+// peelAbort unwinds the deletion cascade when a checkpoint trips; it
+// is recovered at the Ctx API boundary and never escapes the package.
+type peelAbort struct{ err error }
+
+// checkpoint charges n elementary operations and aborts the peel via
+// panic when the context is cancelled, the budget is exhausted, or an
+// armed failpoint fires.
+func (p *peeler) checkpoint(n int) {
+	p.ops += n
+	if p.ops < peelCheckEvery {
+		return
+	}
+	charge := int64(p.ops)
+	p.ops = 0
+	if err := failpoint.Inject(fpPeelStep); err != nil {
+		panic(peelAbort{err})
+	}
+	if err := run.Tick(p.ctx, p.meter, charge); err != nil {
+		panic(peelAbort{err})
+	}
+}
+
 // newPeeler builds the initial state and performs the initial
 // reduction (delete hyperedges contained in another, keeping the
 // lowest-ID copy of duplicates, plus empty hyperedges), since every
 // core of H — including the 0-core — must be a reduced hypergraph.
-func newPeeler(h *hypergraph.Hypergraph) *peeler {
+func newPeeler(ctx context.Context, h *hypergraph.Hypergraph) *peeler {
+	// Entry checkpoint: an already-cancelled context aborts before any
+	// work, even on inputs too small to reach a periodic checkpoint.
+	if err := run.Tick(ctx, run.MeterFrom(ctx), 0); err != nil {
+		panic(peelAbort{err})
+	}
 	nv, ne := h.NumVertices(), h.NumEdges()
 	p := &peeler{
 		h:       h,
+		ctx:     ctx,
+		meter:   run.MeterFrom(ctx),
 		vAlive:  make([]bool, nv),
 		eAlive:  make([]bool, ne),
 		vDeg:    make([]int, nv),
@@ -148,6 +193,7 @@ func newPeeler(h *hypergraph.Hypergraph) *peeler {
 		stamp[i] = -1
 	}
 	for f := 0; f < ne; f++ {
+		p.checkpoint(1)
 		for _, v := range h.Vertices(f) {
 			for _, g := range h.Edges(int(v)) {
 				if g != int32(f) && stamp[g] != int32(f) {
@@ -166,6 +212,7 @@ func newPeeler(h *hypergraph.Hypergraph) *peeler {
 	// adjacency lists.
 	for v := 0; v < nv; v++ {
 		adj := h.Edges(v)
+		p.checkpoint(1 + len(adj))
 		for i := 0; i < len(adj); i++ {
 			for j := i + 1; j < len(adj); j++ {
 				f, g := adj[i], adj[j]
@@ -211,6 +258,7 @@ func (p *peeler) isNonMaximal(f int) bool {
 // the overlap sets of its neighbors.  Deleting an edge can never make
 // another edge non-maximal, so no containment re-checks are needed.
 func (p *peeler) deleteEdge(f int) {
+	p.checkpoint(1)
 	p.eAlive[f] = false
 	p.eCore[f] = p.k - 1
 	if p.eCore[f] < 0 {
@@ -239,6 +287,7 @@ func (p *peeler) deleteEdge(f int) {
 // emptiness or non-maximality.  The two phases keep the overlap table
 // consistent while several hyperedges shrink at once.
 func (p *peeler) deleteVertex(v int) {
+	p.checkpoint(1)
 	p.vAlive[v] = false
 	p.vCore[v] = p.k - 1
 	if p.vCore[v] < 0 {
@@ -318,7 +367,23 @@ func (p *peeler) result(k int) *Result {
 // algorithm and returns the surviving membership.  k must be ≥ 0; the
 // 0-core is the reduced hypergraph with isolated vertices removed.
 func KCore(h *hypergraph.Hypergraph, k int) *Result {
-	p := newPeeler(h)
+	r, err := KCoreCtx(context.Background(), h, k)
+	if err != nil {
+		// Only reachable through an armed failpoint: a background
+		// context cannot be cancelled and carries no budget.
+		panic(err)
+	}
+	return r
+}
+
+// KCoreCtx is KCore honoring cancellation, deadline and any run.Budget
+// attached to ctx (see run.WithBudget), checked every bounded number of
+// peel operations.  On cancellation or budget exhaustion it returns
+// (nil, err): a partially peeled state is not a valid core of any k, so
+// no partial result is exposed.
+func KCoreCtx(ctx context.Context, h *hypergraph.Hypergraph, k int) (r *Result, err error) {
+	defer recoverPeelAbort(&err)
+	p := newPeeler(ctx, h)
 	if k < 1 {
 		// Even the 0-core drops vertices in no hyperedge.
 		p.peelTo(1)
@@ -326,10 +391,22 @@ func KCore(h *hypergraph.Hypergraph, k int) *Result {
 		// the same set; but it also removes vertices of degree 0 only.
 		// For k = 0 we must keep vertices of degree ≥ 1, which peelTo(1)
 		// preserves, so this is exactly the reduced hypergraph.
-		return p.result(0)
+		return p.result(0), nil
 	}
 	p.peelTo(k)
-	return p.result(k)
+	return p.result(k), nil
+}
+
+// recoverPeelAbort converts a checkpoint abort into the returned
+// error, leaving any other panic untouched.
+func recoverPeelAbort(err *error) {
+	if x := recover(); x != nil {
+		a, ok := x.(peelAbort)
+		if !ok {
+			panic(x)
+		}
+		*err = a.err
+	}
 }
 
 // Decompose computes the full core decomposition by raising the peeling
@@ -338,7 +415,20 @@ func KCore(h *hypergraph.Hypergraph, k int) *Result {
 // whole run, so the total work matches a single maximum-core
 // computation).
 func Decompose(h *hypergraph.Hypergraph) *Decomposition {
-	p := newPeeler(h)
+	d, err := DecomposeCtx(context.Background(), h)
+	if err != nil {
+		panic(err) // only reachable through an armed failpoint
+	}
+	return d
+}
+
+// DecomposeCtx is Decompose honoring cancellation, deadline and any
+// run.Budget attached to ctx, checked every bounded number of peel
+// operations.  On cancellation or budget exhaustion it returns
+// (nil, err).
+func DecomposeCtx(ctx context.Context, h *hypergraph.Hypergraph) (d *Decomposition, err error) {
+	defer recoverPeelAbort(&err)
+	p := newPeeler(ctx, h)
 	maxK := 0
 	for k := 1; p.aliveV > 0; k++ {
 		// The (k-1)-core was non-empty; remember it before peeling on.
@@ -352,7 +442,7 @@ func Decompose(h *hypergraph.Hypergraph) *Decomposition {
 		VertexCoreness: p.vCore,
 		EdgeCoreness:   p.eCore,
 		MaxK:           maxK,
-	}
+	}, nil
 }
 
 // MaxCore returns the maximum core of h: the largest k with a
@@ -361,9 +451,23 @@ func Decompose(h *hypergraph.Hypergraph) *Decomposition {
 // vertices removed), since coreness values cannot distinguish the
 // 0-core at level 0.
 func MaxCore(h *hypergraph.Hypergraph) *Result {
-	d := Decompose(h)
-	if d.MaxK == 0 {
-		return KCore(h, 0)
+	r, err := MaxCoreCtx(context.Background(), h)
+	if err != nil {
+		panic(err) // only reachable through an armed failpoint
 	}
-	return d.Core(d.MaxK)
+	return r
+}
+
+// MaxCoreCtx is MaxCore honoring cancellation, deadline and any
+// run.Budget attached to ctx.  On cancellation or budget exhaustion it
+// returns (nil, err).
+func MaxCoreCtx(ctx context.Context, h *hypergraph.Hypergraph) (*Result, error) {
+	d, err := DecomposeCtx(ctx, h)
+	if err != nil {
+		return nil, err
+	}
+	if d.MaxK == 0 {
+		return KCoreCtx(ctx, h, 0)
+	}
+	return d.Core(d.MaxK), nil
 }

@@ -1,17 +1,56 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"hyperplex/internal/failpoint"
 	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/run"
 )
+
+// fpParallelWorker fires inside every parallel worker chunk, so an
+// injected panic exercises the worker recovery boundary.
+var fpParallelWorker = failpoint.Register("core.parallel.worker")
+
+// maxParallelWorkers caps the worker count: each worker owns O(|F|)
+// scratch arrays, so an absurd request would turn into an allocation
+// bomb rather than more parallelism.
+const maxParallelWorkers = 512
+
+// normalizeWorkers applies the documented worker-count policy shared
+// by the parallel kernels: ≤ 0 selects runtime.NumCPU(), and requests
+// beyond maxParallelWorkers are clamped.
+func normalizeWorkers(workers int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > maxParallelWorkers {
+		workers = maxParallelWorkers
+	}
+	return workers
+}
+
+// WorkerPanicError reports a panic recovered at a parallel worker
+// boundary: the computation is abandoned but the panic surfaces as an
+// error instead of crossing goroutines, and no worker is leaked.
+type WorkerPanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // stack of the panicking worker
+}
+
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("core: parallel worker panic: %v", e.Value)
+}
 
 // KCoreParallel computes the k-core of h with a round-synchronous
 // parallel peeling algorithm, answering the paper's observation that
 // "for large hypergraphs, a parallel algorithm will need to be
-// designed".  workers ≤ 0 selects runtime.NumCPU().
+// designed".  workers ≤ 0 selects runtime.NumCPU(); requests beyond an
+// internal cap are clamped (each worker owns O(|F|) scratch).
 //
 // Each round proceeds in three parallel phases over a frontier:
 //
@@ -29,8 +68,28 @@ import (
 // the sequential algorithm; with the shared (degree, ID) tie-break for
 // equal hyperedges the surviving edge IDs match as well.
 func KCoreParallel(h *hypergraph.Hypergraph, k int, workers int) *Result {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	r, err := KCoreParallelCtx(context.Background(), h, k, workers)
+	if err != nil {
+		// Only reachable through an armed failpoint or a genuine worker
+		// bug; either way the panic carries the recovered cause.
+		panic(err)
+	}
+	return r
+}
+
+// KCoreParallelCtx is KCoreParallel honoring cancellation, deadline
+// and any run.Budget attached to ctx, checked inside every worker
+// chunk at bounded intervals.  A panic in a worker is recovered at the
+// worker boundary and returned as a *WorkerPanicError — workers never
+// leak and panics never cross goroutines.  On any error it returns
+// (nil, err): the half-peeled state is not a valid core.
+func KCoreParallelCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, workers int) (*Result, error) {
+	workers = normalizeWorkers(workers)
+	meter := run.MeterFrom(ctx)
+	// Entry checkpoint: an already-cancelled context fails before any
+	// work, even on inputs too small to reach a worker checkpoint.
+	if err := run.Tick(ctx, meter, 0); err != nil {
+		return nil, err
 	}
 	nv, ne := h.NumVertices(), h.NumEdges()
 
@@ -52,10 +111,16 @@ func KCoreParallel(h *hypergraph.Hypergraph, k int, workers int) *Result {
 		minDeg = 1 // the 0-core still drops isolated vertices
 	}
 
-	// parallelRange runs fn over [0, n) split into worker chunks.
-	parallelRange := func(n int, fn func(lo, hi, worker int)) {
+	// parallelRange runs fn over [0, n) split into worker chunks.  A
+	// worker panic is recovered at the goroutine boundary (first one
+	// wins) and returned; fn's own error return aborts likewise.  Every
+	// chunk starts with a failpoint and a cancellation/budget tick, so
+	// a stuck or cancelled computation stops at the next round phase.
+	var panicErr atomic.Pointer[WorkerPanicError]
+	var firstErr atomic.Pointer[error]
+	parallelRange := func(n int, fn func(lo, hi, worker int) error) error {
 		if n == 0 {
-			return
+			return nil
 		}
 		w := workers
 		if w > n {
@@ -75,10 +140,34 @@ func KCoreParallel(h *hypergraph.Hypergraph, k int, workers int) *Result {
 			wg.Add(1)
 			go func(lo, hi, worker int) {
 				defer wg.Done()
-				fn(lo, hi, worker)
+				defer func() {
+					if x := recover(); x != nil {
+						stack := make([]byte, 16<<10)
+						stack = stack[:runtime.Stack(stack, false)]
+						panicErr.CompareAndSwap(nil, &WorkerPanicError{Value: x, Stack: stack})
+					}
+				}()
+				if err := failpoint.Inject(fpParallelWorker); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				if err := run.Tick(ctx, meter, int64(hi-lo)); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				if err := fn(lo, hi, worker); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+				}
 			}(lo, hi, i)
 		}
 		wg.Wait()
+		if pe := panicErr.Load(); pe != nil {
+			return pe
+		}
+		if ep := firstErr.Load(); ep != nil {
+			return *ep
+		}
+		return nil
 	}
 
 	// checkEdges re-checks the hyperedges listed in cand (all alive)
@@ -92,9 +181,9 @@ func KCoreParallel(h *hypergraph.Hypergraph, k int, workers int) *Result {
 		stamps[i] = make([]int32, ne) // zero = "never stamped"; marks start at 1
 		counts[i] = make([]int32, ne)
 	}
-	checkEdges := func(cand []int32) []int32 {
+	checkEdges := func(cand []int32) ([]int32, error) {
 		dead := make([][]int32, workers)
-		parallelRange(len(cand), func(lo, hi, worker int) {
+		err := parallelRange(len(cand), func(lo, hi, worker int) error {
 			stamp, count := stamps[worker], counts[worker]
 			for i := lo; i < hi; i++ {
 				f := cand[i]
@@ -141,12 +230,16 @@ func KCoreParallel(h *hypergraph.Hypergraph, k int, workers int) *Result {
 					dead[worker] = append(dead[worker], f)
 				}
 			}
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		var all []int32
 		for _, d := range dead {
 			all = append(all, d...)
 		}
-		return all
+		return all, nil
 	}
 
 	// Round 0: the initial reduction checks every hyperedge.
@@ -155,7 +248,10 @@ func KCoreParallel(h *hypergraph.Hypergraph, k int, workers int) *Result {
 		initial[f] = int32(f)
 	}
 	round := int32(1)
-	dying := checkEdges(initial)
+	dying, err := checkEdges(initial)
+	if err != nil {
+		return nil, err
+	}
 
 	shrunkStamp := make([]atomic.Int32, ne)
 	for f := range shrunkStamp {
@@ -164,7 +260,7 @@ func KCoreParallel(h *hypergraph.Hypergraph, k int, workers int) *Result {
 
 	for {
 		// Phase 3 (and entry): retire dead edges, decrement members.
-		parallelRange(len(dying), func(lo, hi, _ int) {
+		err := parallelRange(len(dying), func(lo, hi, _ int) error {
 			for i := lo; i < hi; i++ {
 				f := dying[i]
 				eAlive[f].Store(false)
@@ -174,17 +270,25 @@ func KCoreParallel(h *hypergraph.Hypergraph, k int, workers int) *Result {
 					}
 				}
 			}
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 
 		// Phase 1: gather the vertex frontier.
 		frontierParts := make([][]int32, workers)
-		parallelRange(nv, func(lo, hi, worker int) {
+		err = parallelRange(nv, func(lo, hi, worker int) error {
 			for v := lo; v < hi; v++ {
 				if vAlive[v].Load() && vDeg[v].Load() < minDeg {
 					frontierParts[worker] = append(frontierParts[worker], int32(v))
 				}
 			}
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		var frontier []int32
 		for _, p := range frontierParts {
 			frontier = append(frontier, p...)
@@ -195,13 +299,17 @@ func KCoreParallel(h *hypergraph.Hypergraph, k int, workers int) *Result {
 		round++
 
 		// Retire frontier vertices and shrink their edges.
-		parallelRange(len(frontier), func(lo, hi, _ int) {
+		err = parallelRange(len(frontier), func(lo, hi, _ int) error {
 			for i := lo; i < hi; i++ {
 				vAlive[frontier[i]].Store(false)
 			}
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		shrunkParts := make([][]int32, workers)
-		parallelRange(len(frontier), func(lo, hi, worker int) {
+		err = parallelRange(len(frontier), func(lo, hi, worker int) error {
 			for i := lo; i < hi; i++ {
 				v := frontier[i]
 				for _, f := range h.Edges(int(v)) {
@@ -214,14 +322,21 @@ func KCoreParallel(h *hypergraph.Hypergraph, k int, workers int) *Result {
 					}
 				}
 			}
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		var shrunk []int32
 		for _, p := range shrunkParts {
 			shrunk = append(shrunk, p...)
 		}
 
 		// Phase 2: re-check shrunk edges.
-		dying = checkEdges(shrunk)
+		dying, err = checkEdges(shrunk)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	r := &Result{K: k, VertexIn: make([]bool, nv), EdgeIn: make([]bool, ne)}
@@ -237,5 +352,5 @@ func KCoreParallel(h *hypergraph.Hypergraph, k int, workers int) *Result {
 			r.NumEdges++
 		}
 	}
-	return r
+	return r, nil
 }

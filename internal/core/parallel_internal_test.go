@@ -1,0 +1,23 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestNormalizeWorkers(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-3, runtime.NumCPU()},
+		{0, runtime.NumCPU()},
+		{1, 1},
+		{7, 7},
+		{maxParallelWorkers, maxParallelWorkers},
+		{maxParallelWorkers + 1, maxParallelWorkers},
+		{1 << 30, maxParallelWorkers},
+	}
+	for _, c := range cases {
+		if got := normalizeWorkers(c.in); got != c.want {
+			t.Errorf("normalizeWorkers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -14,11 +14,21 @@ package cover
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
+	"hyperplex/internal/failpoint"
 	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/run"
 )
+
+// fpGreedyPop fires on every checkpoint of the greedy selection loop.
+var fpGreedyPop = failpoint.Register("cover.greedy.pop")
+
+// greedyCheckEvery bounds how many heap pops may pass between
+// cancellation/budget checkpoints.
+const greedyCheckEvery = 64
 
 // Cover is the result of a covering algorithm.
 type Cover struct {
@@ -123,6 +133,15 @@ func Greedy(h *hypergraph.Hypergraph, weights []float64) (*Cover, error) {
 	return GreedyMulticover(h, weights, nil)
 }
 
+// GreedyCtx is Greedy honoring cancellation, deadline and any
+// run.Budget attached to ctx (one step per heap pop, checked at
+// bounded intervals).  On cancellation or budget exhaustion it returns
+// (nil, err): a partially built cover does not satisfy the covering
+// constraints.
+func GreedyCtx(ctx context.Context, h *hypergraph.Hypergraph, weights []float64) (*Cover, error) {
+	return GreedyMulticoverCtx(ctx, h, weights, nil)
+}
+
 // GreedyMulticover computes an approximate minimum-weight multicover:
 // at least req[f] distinct vertices of every hyperedge f must be
 // chosen.  req may be nil (then every requirement is 1); requirements
@@ -134,6 +153,18 @@ func Greedy(h *hypergraph.Hypergraph, weights []float64) (*Cover, error) {
 // requirement).  Each pop re-computes the vertex's current cost and
 // re-inserts it if stale, which is sound because costs only increase.
 func GreedyMulticover(h *hypergraph.Hypergraph, weights []float64, req []int) (*Cover, error) {
+	return GreedyMulticoverCtx(context.Background(), h, weights, req)
+}
+
+// GreedyMulticoverCtx is GreedyMulticover honoring cancellation,
+// deadline and any run.Budget attached to ctx (one step per heap pop,
+// checked at bounded intervals).  On cancellation or budget exhaustion
+// it returns (nil, err): a partially built cover does not satisfy the
+// covering constraints.
+func GreedyMulticoverCtx(ctx context.Context, h *hypergraph.Hypergraph, weights []float64, req []int) (*Cover, error) {
+	if err := run.Tick(ctx, run.MeterFrom(ctx), 0); err != nil {
+		return nil, err
+	}
 	nv, ne := h.NumVertices(), h.NumEdges()
 	if weights == nil {
 		weights = UnitWeights(h)
@@ -189,10 +220,21 @@ func GreedyMulticover(h *hypergraph.Hypergraph, weights []float64, req []int) (*
 		}
 	}
 
+	meter := run.MeterFrom(ctx)
 	c := &Cover{InCover: make([]bool, nv)}
+	pops := 0
 	for unmet > 0 {
 		if ch.Len() == 0 {
 			return nil, fmt.Errorf("cover: %d hyperedges remain uncoverable", unmet)
+		}
+		if pops++; pops >= greedyCheckEvery {
+			if err := failpoint.Inject(fpGreedyPop); err != nil {
+				return nil, err
+			}
+			if err := run.Tick(ctx, meter, int64(pops)); err != nil {
+				return nil, err
+			}
+			pops = 0
 		}
 		_, v32 := ch.popItem()
 		v := int(v32)

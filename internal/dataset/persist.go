@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,8 +10,14 @@ import (
 	"strings"
 
 	"hyperplex/internal/bio"
+	"hyperplex/internal/failpoint"
 	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/run"
 )
+
+// fpLoad fires once per file opened by LoadInstanceCtx, so chaos tests
+// can fault any of the four loads of a saved instance.
+var fpLoad = failpoint.Register("dataset.load")
 
 // The on-disk layout of a saved instance:
 //
@@ -117,11 +124,29 @@ func writeJSON(path string, v interface{}) error {
 // LoadInstance reads an instance saved by Save.  The Published targets
 // are re-attached (they are constants of the paper, not data).
 func LoadInstance(dir string) (*Instance, error) {
+	return LoadInstanceCtx(context.Background(), dir)
+}
+
+// LoadInstanceCtx is LoadInstance honoring cancellation, deadline and
+// any run.Budget attached to ctx: the checkpoint runs before each of
+// the four files is opened, and the hypergraph itself is read with
+// ReadTextCtx.  On any error it returns (nil, err).
+func LoadInstanceCtx(ctx context.Context, dir string) (*Instance, error) {
+	meter := run.MeterFrom(ctx)
+	checkpoint := func() error {
+		if err := failpoint.Inject(fpLoad); err != nil {
+			return err
+		}
+		return run.Tick(ctx, meter, 1)
+	}
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
 	hf, err := os.Open(filepath.Join(dir, "hypergraph.txt"))
 	if err != nil {
 		return nil, err
 	}
-	h, err := hypergraph.ReadText(hf)
+	h, err := hypergraph.ReadTextCtx(ctx, hf)
 	hf.Close()
 	if err != nil {
 		return nil, err
@@ -129,6 +154,9 @@ func LoadInstance(dir string) (*Instance, error) {
 	inst := &Instance{H: h, Published: PublishedCellzome()}
 
 	// Baits.
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
 	bf, err := os.Open(filepath.Join(dir, "baits.txt"))
 	if err != nil {
 		return nil, err
@@ -157,6 +185,9 @@ func LoadInstance(dir string) (*Instance, error) {
 	bf.Close()
 
 	// Annotations.
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
 	var ann map[string]annotationRecord
 	if err := readJSON(filepath.Join(dir, "annotations.json"), &ann); err != nil {
 		return nil, err
@@ -177,6 +208,9 @@ func LoadInstance(dir string) (*Instance, error) {
 	}
 
 	// Meta.
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
 	var meta metaRecord
 	if err := readJSON(filepath.Join(dir, "meta.json"), &meta); err != nil {
 		return nil, err

@@ -1,0 +1,223 @@
+// Package failpoint is a fault-injection registry for the algorithm
+// kernels and loaders.  Long-running code declares named sites with
+// Register and calls Inject at bounded checkpoint intervals; tests arm
+// a site with an error, panic or delay and deterministic scheduling,
+// and the chaos suite (internal/chaos) iterates every site × every arm
+// to prove the library degrades into typed errors rather than crashes.
+//
+// The disabled fast path is a single atomic load: when no site is
+// armed, Inject returns nil without touching the registry, so
+// production builds pay no measurable cost (the benchmark guard pins
+// this).
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the base error of every error-arm injection; match it
+// with errors.Is.
+var ErrInjected = errors.New("failpoint: injected failure")
+
+// Panic is the value thrown by panic arms, so recovery boundaries can
+// distinguish an injected panic from a genuine bug.
+type Panic struct{ Site string }
+
+func (p Panic) String() string { return "failpoint: injected panic at " + p.Site }
+
+// Mode selects what an armed site does when its schedule fires.
+type Mode int
+
+const (
+	// ModeError makes Inject return an error wrapping ErrInjected.
+	ModeError Mode = iota
+	// ModePanic makes Inject panic with a Panic value.
+	ModePanic
+	// ModeDelay makes Inject sleep for Arm.Delay and return nil.
+	ModeDelay
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Arm describes what an enabled site does and on which hits.  Hits are
+// counted from 1 in program order, so schedules are deterministic for
+// deterministic workloads.
+type Arm struct {
+	Mode Mode
+	// Err overrides the returned error for ModeError (it is wrapped so
+	// errors.Is(err, ErrInjected) still holds).  Nil uses a default.
+	Err error
+	// Delay is the sleep duration for ModeDelay.
+	Delay time.Duration
+	// After skips the first After hits before the arm may fire.
+	After int
+	// Every fires on every Every-th eligible hit (0 or 1 = every hit).
+	Every int
+	// Times caps the number of fires (0 = unlimited).
+	Times int
+}
+
+type site struct {
+	mu    sync.Mutex
+	arm   *Arm
+	hits  int // calls to Inject that took the slow path while armed
+	fires int // times the arm actually fired
+}
+
+var (
+	registry sync.Map     // site name → *site
+	armed    atomic.Int32 // number of armed sites; Inject's fast-path gate
+)
+
+// Register declares a site.  It is idempotent and safe to call from
+// package init; the returned name lets call sites be declared as
+//
+//	var fpFoo = failpoint.Register("pkg.foo")
+func Register(name string) string {
+	registry.LoadOrStore(name, &site{})
+	return name
+}
+
+// Sites returns the sorted names of all registered sites.
+func Sites() []string {
+	var names []string
+	registry.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// Enable arms a registered site.  Arming an already-armed site
+// replaces its arm and resets its hit and fire counters.
+func Enable(name string, arm Arm) error {
+	v, ok := registry.Load(name)
+	if !ok {
+		return fmt.Errorf("failpoint: unknown site %q", name)
+	}
+	s := v.(*site)
+	s.mu.Lock()
+	wasArmed := s.arm != nil
+	s.arm = &arm
+	s.hits, s.fires = 0, 0
+	s.mu.Unlock()
+	if !wasArmed {
+		armed.Add(1)
+	}
+	return nil
+}
+
+// Disable disarms a site (no-op if not armed or not registered).
+func Disable(name string) {
+	v, ok := registry.Load(name)
+	if !ok {
+		return
+	}
+	s := v.(*site)
+	s.mu.Lock()
+	wasArmed := s.arm != nil
+	s.arm = nil
+	s.mu.Unlock()
+	if wasArmed {
+		armed.Add(-1)
+	}
+}
+
+// DisableAll disarms every site.
+func DisableAll() {
+	registry.Range(func(k, _ any) bool {
+		Disable(k.(string))
+		return true
+	})
+}
+
+// Fired returns how many times the site's current arm has fired since
+// it was enabled.
+func Fired(name string) int {
+	v, ok := registry.Load(name)
+	if !ok {
+		return 0
+	}
+	s := v.(*site)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fires
+}
+
+// Inject is called by instrumented code at a named site.  With no site
+// armed anywhere it costs one atomic load and returns nil.  An armed
+// site consults its schedule and fires its arm: ModeError returns an
+// error, ModePanic panics with a Panic value, ModeDelay sleeps.
+func Inject(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return injectSlow(name)
+}
+
+func injectSlow(name string) error {
+	v, ok := registry.Load(name)
+	if !ok {
+		return nil
+	}
+	s := v.(*site)
+	s.mu.Lock()
+	arm := s.arm
+	if arm == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	s.hits++
+	if !shouldFire(arm, s.hits, s.fires) {
+		s.mu.Unlock()
+		return nil
+	}
+	s.fires++
+	s.mu.Unlock()
+
+	switch arm.Mode {
+	case ModePanic:
+		panic(Panic{Site: name})
+	case ModeDelay:
+		time.Sleep(arm.Delay)
+		return nil
+	default:
+		if arm.Err != nil {
+			return fmt.Errorf("failpoint %s: %w: %w", name, ErrInjected, arm.Err)
+		}
+		return fmt.Errorf("failpoint %s: %w", name, ErrInjected)
+	}
+}
+
+// shouldFire evaluates the deterministic schedule for the hit'th hit
+// (1-based) given fires so far.
+func shouldFire(arm *Arm, hit, fires int) bool {
+	if arm.Times > 0 && fires >= arm.Times {
+		return false
+	}
+	eligible := hit - arm.After
+	if eligible <= 0 {
+		return false
+	}
+	every := arm.Every
+	if every <= 1 {
+		return true
+	}
+	return eligible%every == 0
+}

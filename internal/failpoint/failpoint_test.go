@@ -1,0 +1,133 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	Register("t.disabled")
+	if err := Inject("t.disabled"); err != nil {
+		t.Fatalf("disabled site injected %v", err)
+	}
+	if err := Inject("t.never-registered"); err != nil {
+		t.Fatalf("unregistered site injected %v", err)
+	}
+}
+
+func TestErrorArm(t *testing.T) {
+	Register("t.err")
+	defer DisableAll()
+	if err := Enable("t.err", Arm{Mode: ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject("t.err")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	custom := errors.New("disk on fire")
+	if err := Enable("t.err", Arm{Mode: ModeError, Err: custom}); err != nil {
+		t.Fatal(err)
+	}
+	err = Inject("t.err")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, custom) {
+		t.Fatalf("want wrapped ErrInjected and custom error, got %v", err)
+	}
+}
+
+func TestEnableUnknownSite(t *testing.T) {
+	if err := Enable("t.unknown-site", Arm{}); err == nil {
+		t.Fatal("enabling an unregistered site should fail")
+	}
+}
+
+func TestPanicArm(t *testing.T) {
+	Register("t.panic")
+	defer DisableAll()
+	if err := Enable("t.panic", Arm{Mode: ModePanic}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		p, ok := v.(Panic)
+		if !ok || p.Site != "t.panic" {
+			t.Fatalf("want Panic{t.panic}, got %v", v)
+		}
+	}()
+	Inject("t.panic")
+	t.Fatal("panic arm did not panic")
+}
+
+func TestDelayArm(t *testing.T) {
+	Register("t.delay")
+	defer DisableAll()
+	if err := Enable("t.delay", Arm{Mode: ModeDelay, Delay: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("t.delay"); err != nil {
+		t.Fatalf("delay arm returned %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay arm slept only %v", d)
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	Register("t.sched")
+	defer DisableAll()
+	// Skip 2 hits, fire every 3rd eligible hit, at most twice:
+	// hits 1,2 skipped; eligible hits 3.. → fire on eligible 3,6 → hits 5, 8.
+	if err := Enable("t.sched", Arm{Mode: ModeError, After: 2, Every: 3, Times: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if Inject("t.sched") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 8 {
+		t.Fatalf("schedule fired on hits %v, want [5 8]", fired)
+	}
+	if got := Fired("t.sched"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestSitesSortedAndRegisterIdempotent(t *testing.T) {
+	a := Register("t.z-site")
+	b := Register("t.a-site")
+	Register("t.a-site")
+	if a != "t.z-site" || b != "t.a-site" {
+		t.Fatalf("Register returned %q, %q", a, b)
+	}
+	names := Sites()
+	ia, iz := -1, -1
+	for i, n := range names {
+		switch n {
+		case "t.a-site":
+			ia = i
+		case "t.z-site":
+			iz = i
+		}
+	}
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("Sites() = %v: want t.a-site before t.z-site, each once", names)
+	}
+}
+
+func TestDisableResetsFastPath(t *testing.T) {
+	Register("t.reset")
+	if err := Enable("t.reset", Arm{Mode: ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	Disable("t.reset")
+	if got := armed.Load(); got != 0 {
+		t.Fatalf("armed counter = %d after disabling the only site", got)
+	}
+	if err := Inject("t.reset"); err != nil {
+		t.Fatalf("disabled site injected %v", err)
+	}
+}

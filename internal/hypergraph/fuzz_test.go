@@ -4,12 +4,15 @@
 package hypergraph_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"unicode/utf8"
 
 	"hyperplex/internal/check"
 	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/run"
 )
 
 // FuzzReadText feeds arbitrary bytes to the text parser and, for every
@@ -24,7 +27,18 @@ func FuzzReadText(f *testing.F) {
 	f.Add("empty:\n")
 	f.Add("odd name: a:b #x\nvertex #y\n")
 	f.Add(`{"vertices":["a"],"edges":{"e":["a"]},"edgeOrder":["e"]}`)
+	// Long inputs reach the reader's periodic cancellation checkpoint
+	// (every 256 lines), not just the entry check.
+	f.Add(strings.Repeat("e: a b\n", 300))
 	f.Fuzz(func(t *testing.T, data string) {
+		// Robustness: a pre-cancelled context surfaces context.Canceled
+		// for every input — never a partial parse, never a different
+		// error class.
+		cctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := hypergraph.ReadTextCtx(cctx, strings.NewReader(data)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled ReadTextCtx of %q: got %v, want context.Canceled", data, err)
+		}
 		if h, err := hypergraph.UnmarshalJSONHypergraph([]byte(data)); err == nil {
 			if err := h.Validate(); err != nil {
 				t.Fatalf("JSON parser accepted %q but produced invalid hypergraph: %v", data, err)
@@ -39,6 +53,20 @@ func FuzzReadText(f *testing.F) {
 		}
 		if err := check.RoundTripText(h); err != nil {
 			t.Fatalf("text round trip of %q: %v", data, err)
+		}
+		// A starved step budget must either reproduce the unbudgeted
+		// parse or fail with a clean ErrBudgetExceeded — never return a
+		// different hypergraph or another error class.
+		bctx, _ := run.WithBudget(context.Background(), run.Budget{MaxSteps: 128})
+		switch hb, berr := hypergraph.ReadTextCtx(bctx, strings.NewReader(data)); {
+		case berr == nil:
+			if hb.NumVertices() != h.NumVertices() || hb.NumEdges() != h.NumEdges() || hb.NumPins() != h.NumPins() {
+				t.Fatalf("budgeted ReadTextCtx of %q changed shape: %d/%d/%d to %d/%d/%d", data,
+					h.NumVertices(), h.NumEdges(), h.NumPins(), hb.NumVertices(), hb.NumEdges(), hb.NumPins())
+			}
+		case errors.Is(berr, run.ErrBudgetExceeded):
+		default:
+			t.Fatalf("budgeted ReadTextCtx of %q: got %v, want success or ErrBudgetExceeded", data, berr)
 		}
 		// JSON keys collapse duplicate edge names and encoding/json
 		// replaces invalid UTF-8 with U+FFFD, so the JSON round trip is

@@ -2,11 +2,22 @@ package hypergraph
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
+
+	"hyperplex/internal/failpoint"
+	"hyperplex/internal/run"
 )
+
+// fpReadLine fires on every checkpoint of the text-format reader.
+var fpReadLine = failpoint.Register("hypergraph.read.line")
+
+// readCheckEvery bounds how many input lines may pass between
+// cancellation/budget checkpoints in ReadTextCtx.
+const readCheckEvery = 256
 
 // The text format is one hyperedge per line:
 //
@@ -54,12 +65,41 @@ func WriteText(w io.Writer, h *Hypergraph) error {
 
 // ReadText parses the text format.
 func ReadText(r io.Reader) (*Hypergraph, error) {
+	return ReadTextCtx(context.Background(), r)
+}
+
+// ReadTextCtx is ReadText honoring cancellation, deadline and any
+// run.Budget attached to ctx, checked at entry and at bounded line
+// intervals.  Each checkpoint charges one step per line read plus the
+// bytes consumed against the budget's allocation estimate, so a budget
+// bounds how much of a hostile or oversized input is admitted.  On any
+// error it returns (nil, err).
+func ReadTextCtx(ctx context.Context, r io.Reader) (*Hypergraph, error) {
+	meter := run.MeterFrom(ctx)
+	if err := run.Tick(ctx, meter, 0); err != nil {
+		return nil, err
+	}
 	b := NewBuilder()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	lineNo := 0
+	pending, pendingBytes := 0, int64(0)
 	for sc.Scan() {
 		lineNo++
+		pending++
+		pendingBytes += int64(len(sc.Bytes())) + 1
+		if pending >= readCheckEvery {
+			if err := failpoint.Inject(fpReadLine); err != nil {
+				return nil, err
+			}
+			if err := run.Tick(ctx, meter, int64(pending)); err != nil {
+				return nil, err
+			}
+			if err := meter.Alloc(pendingBytes); err != nil {
+				return nil, err
+			}
+			pending, pendingBytes = 0, 0
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -84,6 +124,13 @@ func ReadText(r io.Reader) (*Hypergraph, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("hypergraph: read: %w", err)
+	}
+	// Charge the tail that never reached a periodic checkpoint.
+	if err := run.Tick(ctx, meter, int64(pending)); err != nil {
+		return nil, err
+	}
+	if err := meter.Alloc(pendingBytes); err != nil {
+		return nil, err
 	}
 	return b.Build()
 }

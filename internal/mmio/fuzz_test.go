@@ -2,9 +2,13 @@ package mmio
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
+
+	"hyperplex/internal/run"
 )
 
 // fuzzDimLimit keeps ToHypergraph off inputs whose parsed dimensions
@@ -21,10 +25,32 @@ func FuzzReadMatrixMarket(f *testing.F) {
 	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n3 3 2\n1 1\n3 2\n")
 	f.Add("%%MatrixMarket matrix coordinate integer general\n2 4 1\n2 4 7\n")
 	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 0\n")
+	// Enough entries to cross the reader's periodic checkpoint (256).
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n9 9 300\n" + strings.Repeat("1 1\n", 300))
 	f.Fuzz(func(t *testing.T, data string) {
+		// A pre-cancelled context surfaces context.Canceled for every
+		// input — never a partial parse or another error class.
+		cctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := ReadCtx(cctx, strings.NewReader(data)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled ReadCtx of %q: got %v, want context.Canceled", data, err)
+		}
 		m, err := Read(strings.NewReader(data))
 		if err != nil {
 			return
+		}
+		// A starved step budget must either reproduce the unbudgeted
+		// parse or fail with a clean ErrBudgetExceeded.
+		bctx, _ := run.WithBudget(context.Background(), run.Budget{MaxSteps: 128})
+		switch mb, berr := ReadCtx(bctx, strings.NewReader(data)); {
+		case berr == nil:
+			if mb.Rows != m.Rows || mb.Cols != m.Cols || mb.NNZ() != m.NNZ() {
+				t.Fatalf("budgeted ReadCtx of %q changed shape: %dx%d/%d to %dx%d/%d", data,
+					m.Rows, m.Cols, m.NNZ(), mb.Rows, mb.Cols, mb.NNZ())
+			}
+		case errors.Is(berr, run.ErrBudgetExceeded):
+		default:
+			t.Fatalf("budgeted ReadCtx of %q: got %v, want success or ErrBudgetExceeded", data, berr)
 		}
 		var buf bytes.Buffer
 		if err := Write(&buf, m); err != nil {

@@ -9,13 +9,27 @@ package mmio
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 
+	"hyperplex/internal/failpoint"
 	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/run"
 )
+
+// fpReadEntry fires on every checkpoint of the coordinate-entry loop.
+var fpReadEntry = failpoint.Register("mmio.read.entry")
+
+// readCheckEvery bounds how many coordinate entries may pass between
+// cancellation/budget checkpoints in ReadCtx.
+const readCheckEvery = 256
+
+// entryBytes is the estimated long-lived cost of one stored entry
+// (row + col int32 plus a float64), charged against MaxAlloc.
+const entryBytes = 16
 
 // Matrix is a sparse matrix in coordinate (triplet) form.  Indices are
 // 0-based in memory (the on-disk format is 1-based).  Symmetric input
@@ -39,6 +53,18 @@ func (m *Matrix) NNZ() int { return len(m.RowIdx) }
 //
 // Symmetric matrices are expanded (off-diagonal entries mirrored).
 func Read(r io.Reader) (*Matrix, error) {
+	return ReadCtx(context.Background(), r)
+}
+
+// ReadCtx is Read honoring cancellation, deadline and any run.Budget
+// attached to ctx, checked at entry and at bounded entry intervals
+// (one step and a fixed per-entry allocation estimate are charged per
+// stored entry).  On any error it returns (nil, err).
+func ReadCtx(ctx context.Context, r io.Reader) (*Matrix, error) {
+	meter := run.MeterFrom(ctx)
+	if err := run.Tick(ctx, meter, 0); err != nil {
+		return nil, err
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
 
@@ -108,6 +134,17 @@ func Read(r io.Reader) (*Matrix, error) {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
+		}
+		if read > 0 && read%readCheckEvery == 0 {
+			if err := failpoint.Inject(fpReadEntry); err != nil {
+				return nil, err
+			}
+			if err := run.Tick(ctx, meter, readCheckEvery); err != nil {
+				return nil, err
+			}
+			if err := meter.Alloc(readCheckEvery * entryBytes); err != nil {
+				return nil, err
+			}
 		}
 		fields := strings.Fields(line)
 		wantFields := 3

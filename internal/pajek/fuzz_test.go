@@ -3,9 +3,13 @@ package pajek
 import (
 	"bufio"
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
+
+	"hyperplex/internal/run"
 )
 
 // renderNet re-emits a NetInfo the way WriteNet renders hypergraphs,
@@ -34,10 +38,32 @@ func FuzzReadPajek(f *testing.F) {
 	f.Add("*Vertices 2\n1 plain\n2 \"esc\\\"aped\"\n*Arcs\n1 2\n")
 	f.Add("*Vertices 0\n*Edges\n")
 	f.Add("% comment\n*Vertices 1\n1 \"x\"\n")
+	// Enough lines to cross the reader's periodic checkpoint (256).
+	f.Add("*Vertices 2\n1 \"a\"\n2 \"b\"\n*Edges\n" + strings.Repeat("1 2\n", 300))
 	f.Fuzz(func(t *testing.T, data string) {
+		// A pre-cancelled context surfaces context.Canceled for every
+		// input — never a partial parse or another error class.
+		cctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := ReadNetCtx(cctx, strings.NewReader(data)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled ReadNetCtx of %q: got %v, want context.Canceled", data, err)
+		}
 		info, err := ReadNet(strings.NewReader(data))
 		if err != nil {
 			return
+		}
+		// A starved step budget must either reproduce the unbudgeted
+		// parse or fail with a clean ErrBudgetExceeded.
+		bctx, _ := run.WithBudget(context.Background(), run.Budget{MaxSteps: 128})
+		switch ib, berr := ReadNetCtx(bctx, strings.NewReader(data)); {
+		case berr == nil:
+			if len(ib.Labels) != len(info.Labels) || len(ib.Edges) != len(info.Edges) {
+				t.Fatalf("budgeted ReadNetCtx of %q changed shape: %d/%d to %d/%d", data,
+					len(info.Labels), len(info.Edges), len(ib.Labels), len(ib.Edges))
+			}
+		case errors.Is(berr, run.ErrBudgetExceeded):
+		default:
+			t.Fatalf("budgeted ReadNetCtx of %q: got %v, want success or ErrBudgetExceeded", data, berr)
 		}
 		info2, err := ReadNet(strings.NewReader(renderNet(info)))
 		if err != nil {

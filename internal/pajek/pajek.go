@@ -6,13 +6,23 @@ package pajek
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 
+	"hyperplex/internal/failpoint"
 	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/run"
 )
+
+// fpReadLine fires on every checkpoint of the .net reader.
+var fpReadLine = failpoint.Register("pajek.read.line")
+
+// readCheckEvery bounds how many input lines may pass between
+// cancellation/budget checkpoints in ReadNetCtx.
+const readCheckEvery = 256
 
 // Fig. 3 color legend: proteins outside/inside the maximum core are
 // yellow/red; complexes outside/inside are pink/green.
@@ -103,11 +113,38 @@ type NetInfo struct {
 // *Edges section).  It exists so tests can verify round trips and so
 // the tools can re-ingest their own exports.
 func ReadNet(r io.Reader) (*NetInfo, error) {
+	return ReadNetCtx(context.Background(), r)
+}
+
+// ReadNetCtx is ReadNet honoring cancellation, deadline and any
+// run.Budget attached to ctx, checked at entry and at bounded line
+// intervals (one step per line plus the bytes consumed are charged).
+// On any error it returns (nil, err).
+func ReadNetCtx(ctx context.Context, r io.Reader) (*NetInfo, error) {
+	meter := run.MeterFrom(ctx)
+	if err := run.Tick(ctx, meter, 0); err != nil {
+		return nil, err
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	info := &NetInfo{}
 	state := 0 // 0=expect header, 1=vertices, 2=edges
+	pending, pendingBytes := 0, int64(0)
 	for sc.Scan() {
+		pending++
+		pendingBytes += int64(len(sc.Bytes())) + 1
+		if pending >= readCheckEvery {
+			if err := failpoint.Inject(fpReadLine); err != nil {
+				return nil, err
+			}
+			if err := run.Tick(ctx, meter, int64(pending)); err != nil {
+				return nil, err
+			}
+			if err := meter.Alloc(pendingBytes); err != nil {
+				return nil, err
+			}
+			pending, pendingBytes = 0, 0
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue

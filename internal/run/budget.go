@@ -1,0 +1,156 @@
+// Package run carries the execution-control plumbing shared by the
+// algorithm kernels: resource budgets (steps, estimated allocation,
+// wall deadline) and the checkpoint helper the kernels call at bounded
+// intervals to honor cancellation and budgets.  A budget turns a
+// runaway input into a typed ErrBudgetExceeded instead of an unbounded
+// computation; the Ctx variants of the kernels document what partial
+// result (if any) accompanies the error.
+package run
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBudgetExceeded is the base error of every budget violation; match
+// it with errors.Is.
+var ErrBudgetExceeded = errors.New("run: budget exceeded")
+
+// BudgetError reports which resource ran out.  It wraps
+// ErrBudgetExceeded.
+type BudgetError struct {
+	Resource string // "steps", "alloc" or "wall"
+	Limit    int64  // the configured limit (nanoseconds for "wall")
+	Used     int64  // consumption at the time of the violation
+}
+
+func (e *BudgetError) Error() string {
+	if e.Resource == "wall" {
+		return fmt.Sprintf("run: wall deadline exceeded after %v (budget %v)",
+			time.Duration(e.Used), time.Duration(e.Limit))
+	}
+	return fmt.Sprintf("run: %s budget exceeded: %d > %d", e.Resource, e.Used, e.Limit)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+
+// Budget bounds a computation.  The zero value is unlimited.
+type Budget struct {
+	// MaxSteps caps the number of elementary operations (peeled
+	// vertices and edges, heap pops, BFS relaxations, parsed records —
+	// each kernel documents its unit).  0 = unlimited.
+	MaxSteps int64
+	// MaxAlloc caps the estimated bytes of long-lived allocation a
+	// loader or kernel admits (an estimate charged by the code, not a
+	// runtime measurement).  0 = unlimited.
+	MaxAlloc int64
+	// MaxWall caps the wall-clock duration measured from the first
+	// checkpoint.  0 = unlimited.
+	MaxWall time.Duration
+}
+
+// Meter tracks consumption against a Budget.  A nil *Meter is valid
+// and unlimited, so kernels can call methods unconditionally.  Meters
+// are safe for concurrent use by parallel kernels.
+type Meter struct {
+	budget Budget
+	steps  atomic.Int64
+	alloc  atomic.Int64
+	start  atomic.Int64 // first-checkpoint time, UnixNano; 0 = not started
+}
+
+// NewMeter returns a meter enforcing b.
+func NewMeter(b Budget) *Meter { return &Meter{budget: b} }
+
+// Steps returns the steps charged so far.
+func (m *Meter) Steps() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.steps.Load()
+}
+
+// Allocated returns the estimated bytes charged so far.
+func (m *Meter) Allocated() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.alloc.Load()
+}
+
+// Step charges n elementary operations and reports whether the step or
+// wall budget is exhausted.
+func (m *Meter) Step(n int64) error {
+	if m == nil {
+		return nil
+	}
+	used := m.steps.Add(n)
+	if m.budget.MaxSteps > 0 && used > m.budget.MaxSteps {
+		return &BudgetError{Resource: "steps", Limit: m.budget.MaxSteps, Used: used}
+	}
+	return m.checkWall()
+}
+
+// Alloc charges n estimated bytes and reports whether the allocation
+// budget is exhausted.
+func (m *Meter) Alloc(n int64) error {
+	if m == nil {
+		return nil
+	}
+	used := m.alloc.Add(n)
+	if m.budget.MaxAlloc > 0 && used > m.budget.MaxAlloc {
+		return &BudgetError{Resource: "alloc", Limit: m.budget.MaxAlloc, Used: used}
+	}
+	return nil
+}
+
+func (m *Meter) checkWall() error {
+	if m.budget.MaxWall <= 0 {
+		return nil
+	}
+	now := time.Now().UnixNano()
+	start := m.start.Load()
+	if start == 0 {
+		// First checkpoint starts the clock; a lost race just means
+		// another checkpoint's timestamp wins, which is equivalent.
+		if !m.start.CompareAndSwap(0, now) {
+			start = m.start.Load()
+		} else {
+			start = now
+		}
+	}
+	if elapsed := now - start; elapsed > int64(m.budget.MaxWall) {
+		return &BudgetError{Resource: "wall", Limit: int64(m.budget.MaxWall), Used: elapsed}
+	}
+	return nil
+}
+
+type meterKey struct{}
+
+// WithBudget returns a context carrying a fresh Meter enforcing b.
+// Kernels retrieve it with MeterFrom; the caller can keep the returned
+// Meter to inspect consumption afterwards.
+func WithBudget(ctx context.Context, b Budget) (context.Context, *Meter) {
+	m := NewMeter(b)
+	return context.WithValue(ctx, meterKey{}, m), m
+}
+
+// MeterFrom returns the context's Meter, or nil (= unlimited) when the
+// context carries none.
+func MeterFrom(ctx context.Context) *Meter {
+	m, _ := ctx.Value(meterKey{}).(*Meter)
+	return m
+}
+
+// Tick is the checkpoint the kernels call every bounded number of
+// elementary operations: it surfaces context cancellation or deadline
+// first, then charges n steps against the context's budget (if any).
+func Tick(ctx context.Context, m *Meter, n int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return m.Step(n)
+}

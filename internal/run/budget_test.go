@@ -1,0 +1,99 @@
+package run
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilMeterUnlimited(t *testing.T) {
+	var m *Meter
+	if err := m.Step(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Alloc(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps() != 0 || m.Allocated() != 0 {
+		t.Fatal("nil meter should report zero consumption")
+	}
+}
+
+func TestZeroBudgetUnlimited(t *testing.T) {
+	m := NewMeter(Budget{})
+	for i := 0; i < 1000; i++ {
+		if err := m.Step(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	m := NewMeter(Budget{MaxSteps: 100})
+	if err := m.Step(100); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := m.Step(1)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "steps" || be.Used != 101 {
+		t.Fatalf("want steps BudgetError with Used=101, got %#v", err)
+	}
+}
+
+func TestAllocBudget(t *testing.T) {
+	m := NewMeter(Budget{MaxAlloc: 1 << 10})
+	if err := m.Alloc(1 << 10); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := m.Alloc(1)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "alloc" {
+		t.Fatalf("want alloc BudgetError, got %v", err)
+	}
+}
+
+func TestWallBudget(t *testing.T) {
+	m := NewMeter(Budget{MaxWall: 5 * time.Millisecond})
+	if err := m.Step(1); err != nil {
+		t.Fatalf("first checkpoint should start the clock, not fail: %v", err)
+	}
+	time.Sleep(15 * time.Millisecond)
+	err := m.Step(1)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "wall" {
+		t.Fatalf("want wall BudgetError, got %v", err)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx, m := WithBudget(context.Background(), Budget{MaxSteps: 10})
+	if got := MeterFrom(ctx); got != m {
+		t.Fatal("MeterFrom should return the attached meter")
+	}
+	if got := MeterFrom(context.Background()); got != nil {
+		t.Fatalf("plain context carries meter %v", got)
+	}
+	if err := Tick(ctx, m, 10); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if err := Tick(ctx, m, 1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+}
+
+func TestTickSurfacesCancellationFirst(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := NewMeter(Budget{MaxSteps: 1})
+	err := Tick(ctx, m, 100)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if m.Steps() != 0 {
+		t.Fatal("cancelled tick should not charge steps")
+	}
+}

@@ -1,14 +1,21 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"hyperplex/internal/failpoint"
 	"hyperplex/internal/graph"
 	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/run"
 	"hyperplex/internal/xrand"
 )
+
+// fpBFSSource fires before each BFS source in the all-pairs sweep.
+var fpBFSSource = failpoint.Register("stats.bfs.source")
 
 // SmallWorld summarizes the distance structure of a hypergraph under
 // the paper's path metric (path length = number of hyperedges on an
@@ -34,7 +41,22 @@ type SmallWorld struct {
 // runtime.NumCPU()).  Hypergraph distances are bipartite distances
 // halved.
 func SmallWorldStats(h *hypergraph.Hypergraph, workers int) SmallWorld {
-	return smallWorld(h, workers, nil)
+	sw, err := SmallWorldStatsCtx(context.Background(), h, workers)
+	if err != nil {
+		panic(err) // only reachable through an armed failpoint
+	}
+	return sw
+}
+
+// SmallWorldStatsCtx is SmallWorldStats honoring cancellation, deadline
+// and any run.Budget attached to ctx (one checkpoint per BFS source,
+// charging |V| steps each).  On cancellation or budget exhaustion it
+// degrades to a sampled estimate: the returned SmallWorld summarizes
+// the BFS sources completed before the interruption (Sources reports
+// how many, Diameter becomes a lower bound — exactly the semantics of
+// SmallWorldSampled) alongside the non-nil error.
+func SmallWorldStatsCtx(ctx context.Context, h *hypergraph.Hypergraph, workers int) (SmallWorld, error) {
+	return smallWorldCtx(ctx, h, workers, nil)
 }
 
 // SmallWorldSampled estimates diameter (as the max eccentricity over
@@ -42,22 +64,43 @@ func SmallWorldStats(h *hypergraph.Hypergraph, workers int) SmallWorld {
 // uniform sample of BFS sources.  It is the cheap alternative assessed
 // by the APSP ablation benchmark.
 func SmallWorldSampled(h *hypergraph.Hypergraph, samples int, workers int, rng *xrand.RNG) SmallWorld {
-	nv := h.NumVertices()
-	if samples >= nv {
-		return smallWorld(h, workers, nil)
+	sw, err := SmallWorldSampledCtx(context.Background(), h, samples, workers, rng)
+	if err != nil {
+		panic(err) // only reachable through an armed failpoint
 	}
-	perm := rng.Perm(nv)
-	return smallWorld(h, workers, perm[:samples])
+	return sw
 }
 
-// smallWorld runs BFS from the given sources (nil = all vertices).
-func smallWorld(h *hypergraph.Hypergraph, workers int, sources []int) SmallWorld {
+// SmallWorldSampledCtx is SmallWorldSampled honoring cancellation,
+// deadline and any run.Budget attached to ctx, with the same
+// partial-result semantics as SmallWorldStatsCtx (the estimate shrinks
+// to the sources completed before the interruption).
+func SmallWorldSampledCtx(ctx context.Context, h *hypergraph.Hypergraph, samples int, workers int, rng *xrand.RNG) (SmallWorld, error) {
+	nv := h.NumVertices()
+	if samples >= nv {
+		return smallWorldCtx(ctx, h, workers, nil)
+	}
+	perm := rng.Perm(nv)
+	return smallWorldCtx(ctx, h, workers, perm[:samples])
+}
+
+// smallWorldCtx runs BFS from the given sources (nil = all vertices),
+// dispatching sources to workers through an atomic index.  A worker
+// panic is recovered at the worker boundary and returned as an error;
+// the remaining workers drain quickly because every iteration begins by
+// checking whether a failure was already recorded.  The returned
+// SmallWorld always summarizes the sources that completed.
+func smallWorldCtx(ctx context.Context, h *hypergraph.Hypergraph, workers int, sources []int) (SmallWorld, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	nv := h.NumVertices()
 	if nv == 0 {
-		return SmallWorld{}
+		return SmallWorld{}, nil
+	}
+	meter := run.MeterFrom(ctx)
+	if err := run.Tick(ctx, meter, 0); err != nil {
+		return SmallWorld{}, err
 	}
 	bip := graph.Bipartite(h)
 
@@ -72,21 +115,38 @@ func smallWorld(h *hypergraph.Hypergraph, workers int, sources []int) SmallWorld
 		diameter int
 		sum      int64
 		pairs    int64
+		done     int64 // sources fully processed by this worker
 	}
 	results := make([]acc, workers)
 	var wg sync.WaitGroup
-	next := make(chan int, len(sources))
-	for _, s := range sources {
-		next <- s
-	}
-	close(next)
+	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
+	fail := func(err error) { firstErr.CompareAndSwap(nil, &err) }
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if x := recover(); x != nil {
+					fail(fmt.Errorf("stats: BFS worker panic: %v", x))
+				}
+			}()
 			var dist []int32
 			a := &results[w]
-			for src := range next {
+			for firstErr.Load() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= len(sources) {
+					return
+				}
+				if err := failpoint.Inject(fpBFSSource); err != nil {
+					fail(err)
+					return
+				}
+				if err := run.Tick(ctx, meter, int64(nv)); err != nil {
+					fail(err)
+					return
+				}
+				src := sources[i]
 				dist = bip.BFS(src, dist)
 				for v := 0; v < nv; v++ {
 					if v == src || dist[v] < 0 {
@@ -99,6 +159,7 @@ func smallWorld(h *hypergraph.Hypergraph, workers int, sources []int) SmallWorld
 					a.sum += int64(d)
 					a.pairs++
 				}
+				a.done++
 			}
 		}(w)
 	}
@@ -111,12 +172,20 @@ func smallWorld(h *hypergraph.Hypergraph, workers int, sources []int) SmallWorld
 		}
 		total.sum += a.sum
 		total.pairs += a.pairs
+		total.done += a.done
 	}
-	sw := SmallWorld{Diameter: total.diameter, Pairs: total.pairs / boolTo64(len(sources) == nv, 2, 1), Sources: len(sources)}
+	// Each unordered pair is counted from both endpoints only when every
+	// vertex served as a completed source; an interrupted or sampled run
+	// reports ordered (source, target) pairs, like SmallWorldSampled.
+	exact := len(sources) == nv && total.done == int64(len(sources))
+	sw := SmallWorld{Diameter: total.diameter, Pairs: total.pairs / boolTo64(exact, 2, 1), Sources: int(total.done)}
 	if total.pairs > 0 {
 		sw.AvgPathLength = float64(total.sum) / float64(total.pairs)
 	}
-	return sw
+	if ep := firstErr.Load(); ep != nil {
+		return sw, *ep
+	}
+	return sw, nil
 }
 
 func boolTo64(b bool, t, f int64) int64 {
