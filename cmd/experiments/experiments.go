@@ -537,7 +537,10 @@ func runX7(w io.Writer, o options) error {
 	model := inst.H
 	rng := xrand.New(0x017)
 
-	orth := bio.GenerateOrthology(model, 0.8, 200, rng)
+	orth, err := bio.GenerateOrthology(model, 0.8, 200, rng)
+	if err != nil {
+		return err
+	}
 	projected := bio.ProjectHypergraph(model, orth, 2)
 	truth := bio.DivergeComplexes(projected, bio.DivergenceParams{
 		DropComplex: 0.10, DropMember: 0.15, AddMember: 1.0,

@@ -1,0 +1,93 @@
+// Command hyperplexvet runs the project's static-analysis suite
+// (internal/lint) over the given packages and reports contract
+// violations with file:line positions.
+//
+// Usage:
+//
+//	hyperplexvet [-list] [-only name,...] [packages]
+//
+// Packages are directories or recursive patterns like ./...; with no
+// arguments the whole module is checked.  Exit status is 0 when the
+// suite is clean, 1 when diagnostics were reported, and 2 when the
+// packages could not be loaded (or the flags were invalid).
+//
+// Diagnostics are suppressed in source with
+//
+//	//hyperplexvet:ignore <analyzers> <reason>
+//
+// on the offending line or directly above it; see internal/lint and
+// TESTING.md for what each analyzer enforces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hyperplex/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the suite and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hyperplexvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "hyperplexvet: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "hyperplexvet:", err)
+		return 2
+	}
+	prog, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "hyperplexvet:", err)
+		return 2
+	}
+
+	diags := lint.RunSuite(prog, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "hyperplexvet: %d issue(s) in %d package(s)\n", len(diags), len(prog.Pkgs))
+		return 1
+	}
+	return 0
+}

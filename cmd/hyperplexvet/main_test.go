@@ -1,0 +1,110 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixture returns the path of one of internal/lint's fixture packages,
+// relative to this test's working directory (the cmd/hyperplexvet dir).
+func fixture(name string) string {
+	return "../../internal/lint/testdata/src/" + name
+}
+
+func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, out, _ := runVet(t, fixture("clean"))
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if out != "" {
+		t.Errorf("clean run printed diagnostics:\n%s", out)
+	}
+}
+
+func TestDiagnosticsExitOne(t *testing.T) {
+	code, out, stderr := runVet(t, fixture("nopanic"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "nopanic.go:") || !strings.Contains(out, "nopanic: naked panic") {
+		t.Errorf("diagnostics missing file:line or analyzer name:\n%s", out)
+	}
+	if !strings.Contains(stderr, "issue(s)") {
+		t.Errorf("summary line missing from stderr: %s", stderr)
+	}
+}
+
+func TestMultiplePackages(t *testing.T) {
+	code, out, _ := runVet(t, fixture("clean"), fixture("errwrap"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out, "errwrap.go:") {
+		t.Errorf("errwrap diagnostics missing:\n%s", out)
+	}
+	if strings.Contains(out, "clean.go:") {
+		t.Errorf("clean package produced diagnostics:\n%s", out)
+	}
+}
+
+func TestSuppressionsHonored(t *testing.T) {
+	code, out, _ := runVet(t, fixture("suppressclean"))
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (suppressions should silence every finding); output:\n%s", code, out)
+	}
+}
+
+func TestLoadErrorExitsTwo(t *testing.T) {
+	code, _, stderr := runVet(t, fixture("broken"))
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "hyperplexvet:") {
+		t.Errorf("load error not reported on stderr: %s", stderr)
+	}
+}
+
+func TestMissingDirExitsTwo(t *testing.T) {
+	if code, _, _ := runVet(t, "./no/such/dir"); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	code, out, _ := runVet(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"ctxfirst", "ctxpair", "errwrap", "failpointsite", "gorecover", "nopanic"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list missing analyzer %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestOnlyFlag(t *testing.T) {
+	// nopanic fixture is dirty under nopanic but clean under errwrap.
+	if code, _, _ := runVet(t, "-only", "errwrap", fixture("nopanic")); code != 0 {
+		t.Fatalf("-only errwrap exit = %d, want 0", code)
+	}
+	if code, _, _ := runVet(t, "-only", "nopanic", fixture("nopanic")); code != 1 {
+		t.Fatalf("-only nopanic exit = %d, want 1", code)
+	}
+}
+
+func TestOnlyUnknownAnalyzerExitsTwo(t *testing.T) {
+	code, _, stderr := runVet(t, "-only", "nosuchlint", fixture("clean"))
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("unknown analyzer not reported: %s", stderr)
+	}
+}

@@ -1,0 +1,145 @@
+// Differential tests validating the reliability math against naive
+// oracles in internal/check.  External test package because check must
+// stay importable from bio's tests without a cycle.
+package bio_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"hyperplex/internal/bio"
+	"hyperplex/internal/check"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/xrand"
+)
+
+// eps absorbs the difference between the closed-form math.Pow /
+// logarithm expressions in production and the oracles' running
+// products.
+const eps = 1e-9
+
+// randomBaits draws n baits uniformly, duplicates allowed — the
+// production code must count a duplicated bait twice, and so does the
+// oracle's nested scan.
+func randomBaits(rng *xrand.RNG, nv, n int) []int {
+	baits := make([]int, n)
+	for i := range baits {
+		baits[i] = rng.Intn(nv)
+	}
+	return baits
+}
+
+// TestDifferentialExpectedRecovery compares ExpectedRecovery (incidence
+// lists + math.Pow) against the naive membership scan + running
+// product on every sweep instance.
+func TestDifferentialExpectedRecovery(t *testing.T) {
+	rng := xrand.New(0xB10A)
+	for i, h := range check.Instances(58, 0xB109) {
+		nv := h.NumVertices()
+		if nv == 0 || h.NumEdges() == 0 {
+			continue
+		}
+		label := fmt.Sprintf("instance %d %v", i, h)
+		for _, p := range []float64{0.0, 0.3, 0.7, 1.0} {
+			for _, n := range []int{0, 1, 3, nv} {
+				baits := randomBaits(rng, nv, n)
+				per, mean := bio.ExpectedRecovery(h, baits, p)
+				counts := check.BaitCountsNaive(h, baits)
+				for f, got := range per {
+					want := check.RecoveryProbNaive(p, counts[f])
+					if math.Abs(got-want) > eps {
+						t.Fatalf("%s: p=%v baits=%v complex %d: recovery %v, oracle %v",
+							label, p, baits, f, got, want)
+					}
+				}
+				if wantMean := check.RecoveryMeanNaive(per); math.Abs(mean-wantMean) > eps {
+					t.Fatalf("%s: p=%v mean %v, oracle %v", label, p, mean, wantMean)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialRequirements checks RequirementsForReliability
+// against the oracle's incremental search.  The closed-form ceil(log)
+// requirement may differ from the running-product search only inside
+// the float tolerance of the target, so the comparison is a
+// sufficiency + minimality property rather than strict equality:
+// the returned requirement must reach the target (within eps, unless
+// capped at the complex size) and the requirement minus one must not
+// clear it.
+func TestDifferentialRequirements(t *testing.T) {
+	for i, h := range check.Instances(58, 0xB10B) {
+		if h.NumEdges() == 0 {
+			continue
+		}
+		label := fmt.Sprintf("instance %d %v", i, h)
+		for _, p := range []float64{0.2, 0.5, 0.9, 1.0} {
+			for _, target := range []float64{0.0, 0.5, 0.9, 0.999} {
+				req, err := bio.RequirementsForReliability(h, p, target)
+				if err != nil {
+					t.Fatalf("%s: p=%v target=%v: %v", label, p, target, err)
+				}
+				for f, r := range req {
+					d := h.EdgeDegree(f)
+					naive := check.RequirementNaive(p, target, d)
+					if r < 1 || r > d {
+						t.Fatalf("%s: complex %d requirement %d outside [1,%d]", label, f, r, d)
+					}
+					if got := check.RecoveryProbNaive(p, r); r < d && got < target-eps {
+						t.Fatalf("%s: p=%v target=%v complex %d: %d baits reach only %v",
+							label, p, target, f, r, got)
+					}
+					if r > 1 {
+						if below := check.RecoveryProbNaive(p, r-1); below >= target+eps {
+							t.Fatalf("%s: p=%v target=%v complex %d: requirement %d not minimal (%d already reaches %v)",
+								label, p, target, f, r, r-1, below)
+						}
+					}
+					// The oracle and the closed form may legitimately differ
+					// by one step at a float boundary, never more.
+					if diff := r - naive; diff < -1 || diff > 1 {
+						t.Fatalf("%s: p=%v target=%v complex %d: requirement %d, oracle %d",
+							label, p, target, f, r, naive)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialRecoveryVsSimulation ties the analytic recovery to
+// the TAP simulator on a small fixed hypergraph: with ideal prey
+// detection the Monte-Carlo recovery rate of each complex must
+// approach the analytic probability.
+func TestDifferentialRecoveryVsSimulation(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddEdge("c1", "a", "b", "c")
+	b.AddEdge("c2", "b", "c", "d")
+	b.AddEdge("c3", "d", "e")
+	h := b.MustBuild()
+	baits := []int{0, 1, 3} // a, b, d
+	const p = 0.6
+	per, _ := bio.ExpectedRecovery(h, baits, p)
+
+	const trials = 4000
+	hits := make([]int, h.NumEdges())
+	rng := xrand.New(0xB10C)
+	for i := 0; i < trials; i++ {
+		o := bio.SimulateTAP(h, baits, bio.TAPParams{PullDownSuccess: p, PreyDetection: 1, RecoveryFraction: 1}, rng)
+		for f := 0; f < h.NumEdges(); f++ {
+			if o.Recovered[f] {
+				hits[f]++
+			}
+		}
+	}
+	for f := 0; f < h.NumEdges(); f++ {
+		got := float64(hits[f]) / trials
+		// 4σ bound on a Bernoulli mean over `trials` samples.
+		bound := 4 * math.Sqrt(per[f]*(1-per[f])/trials+1e-12)
+		if math.Abs(got-per[f]) > bound+1e-3 {
+			t.Errorf("complex %d: simulated recovery %v, analytic %v (bound %v)", f, got, per[f], bound)
+		}
+	}
+}

@@ -32,9 +32,10 @@ type OrthologyMap struct {
 // GenerateOrthology builds a synthetic orthology map: each model
 // protein has an ortholog with probability orthologFrac, and the
 // target proteome additionally contains extraTarget unmapped proteins.
-func GenerateOrthology(h *hypergraph.Hypergraph, orthologFrac float64, extraTarget int, rng *xrand.RNG) *OrthologyMap {
+// It returns an error when orthologFrac is outside [0,1].
+func GenerateOrthology(h *hypergraph.Hypergraph, orthologFrac float64, extraTarget int, rng *xrand.RNG) (*OrthologyMap, error) {
 	if orthologFrac < 0 || orthologFrac > 1 {
-		panic(fmt.Sprintf("bio: orthologFrac %v outside [0,1]", orthologFrac))
+		return nil, fmt.Errorf("bio: orthologFrac %v outside [0,1]", orthologFrac)
 	}
 	m := &OrthologyMap{ToTarget: make([]int, h.NumVertices())}
 	for v := 0; v < h.NumVertices(); v++ {
@@ -52,7 +53,7 @@ func GenerateOrthology(h *hypergraph.Hypergraph, orthologFrac float64, extraTarg
 	for i := 0; i < extraTarget; i++ {
 		m.TargetNames = append(m.TargetNames, fmt.Sprintf("t:extra%04d", i))
 	}
-	return m
+	return m, nil
 }
 
 // ProjectHypergraph transfers the model's complexes into the target

@@ -11,7 +11,10 @@ import (
 func TestGenerateOrthology(t *testing.T) {
 	h := smallH(t)
 	rng := xrand.New(1)
-	m := GenerateOrthology(h, 1.0, 3, rng)
+	m, err := GenerateOrthology(h, 1.0, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for v, tgt := range m.ToTarget {
 		if tgt < 0 {
 			t.Errorf("full orthology left vertex %d unmapped", v)
@@ -24,18 +27,31 @@ func TestGenerateOrthology(t *testing.T) {
 		t.Errorf("target proteome size = %d", len(m.TargetNames))
 	}
 
-	none := GenerateOrthology(h, 0.0, 0, rng)
+	none, err := GenerateOrthology(h, 0.0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, tgt := range none.ToTarget {
 		if tgt != -1 {
 			t.Error("zero orthology mapped something")
 		}
+	}
+
+	if _, err := GenerateOrthology(h, 1.5, 0, rng); err == nil {
+		t.Error("orthologFrac outside [0,1] accepted")
+	}
+	if _, err := GenerateOrthology(h, -0.1, 0, rng); err == nil {
+		t.Error("negative orthologFrac accepted")
 	}
 }
 
 func TestProjectHypergraph(t *testing.T) {
 	h := smallH(t) // c1={a,b,c}, c2={b,c,d}, c3={d,e}
 	rng := xrand.New(2)
-	m := GenerateOrthology(h, 1.0, 0, rng)
+	m, err := GenerateOrthology(h, 1.0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Remove d's ortholog by hand.
 	d, _ := h.VertexID("d")
 	m.ToTarget[d] = -1
@@ -59,7 +75,10 @@ func TestProjectHypergraph(t *testing.T) {
 func TestDivergeComplexes(t *testing.T) {
 	h := smallH(t)
 	rng := xrand.New(3)
-	m := GenerateOrthology(h, 1.0, 2, rng)
+	m, err := GenerateOrthology(h, 1.0, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	proj := ProjectHypergraph(h, m, 1)
 
 	// No divergence: structure preserved (names prefixed).
@@ -82,7 +101,10 @@ func TestDivergeComplexes(t *testing.T) {
 func TestTransferBaits(t *testing.T) {
 	h := smallH(t)
 	rng := xrand.New(6)
-	m := GenerateOrthology(h, 1.0, 0, rng)
+	m, err := GenerateOrthology(h, 1.0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	proj := ProjectHypergraph(h, m, 1)
 	truth := DivergeComplexes(proj, DivergenceParams{DropMember: 0.2}, rng)
 	baits := []int{0, 1}
@@ -111,7 +133,10 @@ func TestCrossOrganismPipeline(t *testing.T) {
 	}
 	h := b.MustBuild()
 	rng := xrand.New(99)
-	m := GenerateOrthology(h, 0.9, 5, rng)
+	m, err := GenerateOrthology(h, 0.9, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	proj := ProjectHypergraph(h, m, 2)
 	truth := DivergeComplexes(proj, DivergenceParams{DropComplex: 0.1, DropMember: 0.1, AddMember: 0.5}, rng)
 	if truth.NumEdges() == 0 {

@@ -1,0 +1,75 @@
+package check
+
+import (
+	"hyperplex/internal/hypergraph"
+)
+
+// Naive reimplementations of internal/bio's reliability math, used by
+// the differential tests.  They share no code with the production
+// versions: bait counts come from a nested membership scan instead of
+// the vertex→edge incidence lists, and probabilities come from running
+// products instead of closed-form math.Pow / logarithm expressions.
+
+// BaitCountsNaive returns, for every complex, how many of the given
+// baits (with multiplicity) are members, by scanning each complex's
+// member list for each bait.
+func BaitCountsNaive(h *hypergraph.Hypergraph, baits []int) []int {
+	counts := make([]int, h.NumEdges())
+	for f := 0; f < h.NumEdges(); f++ {
+		for _, b := range baits {
+			for _, v := range h.Vertices(f) {
+				if int(v) == b {
+					counts[f]++
+					break
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// RecoveryProbNaive returns the probability that at least one of n
+// independent pull-downs succeeds, each with probability p, via the
+// complement's running product (no math.Pow).
+func RecoveryProbNaive(p float64, n int) float64 {
+	miss := 1.0
+	for i := 0; i < n; i++ {
+		miss *= 1 - p
+	}
+	return 1 - miss
+}
+
+// RequirementNaive returns the smallest bait count r ≥ 1 whose
+// recovery probability reaches the target, found by incremental
+// search, capped at the complex's cardinality d.  A non-positive d
+// yields 0 (an empty complex needs no baits).
+func RequirementNaive(p, target float64, d int) int {
+	if d <= 0 {
+		return 0
+	}
+	miss := 1.0
+	for r := 1; r < d; r++ {
+		miss *= 1 - p
+		if 1-miss >= target {
+			return r
+		}
+	}
+	return d
+}
+
+// RecoveryMeanNaive averages the per-complex recovery probabilities
+// with compensated (Kahan) summation, so the differential test does
+// not inherit the production code's summation order.
+func RecoveryMeanNaive(per []float64) float64 {
+	if len(per) == 0 {
+		return 0
+	}
+	sum, comp := 0.0, 0.0
+	for _, x := range per {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum / float64(len(per))
+}

@@ -96,8 +96,9 @@ func (d *Decomposition) Profile() []CoreLevel {
 // pairwise overlap counts used to detect non-maximal hyperedges
 // without comparing membership lists.
 type peeler struct {
-	h      *hypergraph.Hypergraph
-	k      int
+	h *hypergraph.Hypergraph
+	k int
+	//hyperplexvet:ignore ctxfirst scoped to one KCoreCtx call; threading ctx through every cascade helper would bloat the hot path
 	ctx    context.Context
 	meter  *run.Meter
 	ops    int // operations since the last checkpoint
@@ -146,9 +147,11 @@ func (p *peeler) checkpoint(n int) {
 	charge := int64(p.ops)
 	p.ops = 0
 	if err := failpoint.Inject(fpPeelStep); err != nil {
+		//hyperplexvet:ignore nopanic peelAbort unwinds the cascade and is recovered at the Ctx API boundary
 		panic(peelAbort{err})
 	}
 	if err := run.Tick(p.ctx, p.meter, charge); err != nil {
+		//hyperplexvet:ignore nopanic peelAbort unwinds the cascade and is recovered at the Ctx API boundary
 		panic(peelAbort{err})
 	}
 }
@@ -161,6 +164,7 @@ func newPeeler(ctx context.Context, h *hypergraph.Hypergraph) *peeler {
 	// Entry checkpoint: an already-cancelled context aborts before any
 	// work, even on inputs too small to reach a periodic checkpoint.
 	if err := run.Tick(ctx, run.MeterFrom(ctx), 0); err != nil {
+		//hyperplexvet:ignore nopanic peelAbort unwinds the cascade and is recovered at the Ctx API boundary
 		panic(peelAbort{err})
 	}
 	nv, ne := h.NumVertices(), h.NumEdges()

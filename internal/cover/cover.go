@@ -105,8 +105,12 @@ func (h *costHeap) Swap(i, j int) {
 	h.cost[i], h.cost[j] = h.cost[j], h.cost[i]
 	h.v[i], h.v[j] = h.v[j], h.v[i]
 }
+
+//hyperplexvet:ignore nopanic container/heap interface stubs; the typed pushItem/popItem are the only callers
 func (h *costHeap) Push(x interface{}) { panic("use pushItem") }
-func (h *costHeap) Pop() interface{}   { panic("use popItem") }
+
+//hyperplexvet:ignore nopanic container/heap interface stubs; the typed pushItem/popItem are the only callers
+func (h *costHeap) Pop() interface{} { panic("use popItem") }
 func (h *costHeap) pushItem(c float64, v int32) {
 	h.cost = append(h.cost, c)
 	h.v = append(h.v, v)

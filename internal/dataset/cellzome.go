@@ -331,6 +331,7 @@ func Cellzome() *Instance {
 	inst.selectBaits(rng)
 	ann, err := bio.GenerateAnnotations(h, inst.CoreV, bio.DefaultAnnotationParams(), rng.Split())
 	if err != nil {
+		//hyperplexvet:ignore nopanic the embedded dataset and fixed seed make failure a build-time bug, not a runtime condition
 		panic("dataset: Cellzome annotations: " + err.Error())
 	}
 	inst.Ann = ann

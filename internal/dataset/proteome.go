@@ -23,6 +23,7 @@ import (
 // always yields the same hypergraph.
 func SyntheticProteome(nProteins, nComplexes int, seed uint64) *hypergraph.Hypergraph {
 	if nProteins < 100 || nComplexes < 10 {
+		//hyperplexvet:ignore nopanic documented precondition on a generator called with compile-time constants
 		panic("dataset: SyntheticProteome needs at least 100 proteins and 10 complexes")
 	}
 	rng := xrand.New(seed)
@@ -52,6 +53,7 @@ func SyntheticProteome(nProteins, nComplexes int, seed uint64) *hypergraph.Hyper
 	// can exceed the protein count.
 	restC := nComplexes - coreComplexes
 	if 2*restC > sumV {
+		//hyperplexvet:ignore nopanic documented precondition on a generator called with compile-time constants
 		panic(fmt.Sprintf("dataset: SyntheticProteome shape infeasible: %d complexes need ≥ %d pins but the degree sequence supplies only %d (too many complexes for too few proteins)",
 			restC, 2*restC, sumV))
 	}
@@ -79,6 +81,7 @@ func SyntheticProteome(nProteins, nComplexes int, seed uint64) *hypergraph.Hyper
 
 	edges, err := gen.BipartiteConfiguration(vDeg, eSize, rng)
 	if err != nil {
+		//hyperplexvet:ignore nopanic the sequences were balanced above, so a configuration failure is a generator bug
 		panic("dataset: SyntheticProteome: " + err.Error())
 	}
 

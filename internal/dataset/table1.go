@@ -47,6 +47,7 @@ func Table1Hypergraphs(short bool) (names []string, hs []*hypergraph.Hypergraph)
 		m := gen.SyntheticMatrix(spec)
 		h, err := mmio.ToHypergraph(m)
 		if err != nil {
+			//hyperplexvet:ignore nopanic SyntheticMatrix emits well-formed matrices by construction; failure is a build-time bug
 			panic("dataset: Table1Hypergraphs: " + err.Error())
 		}
 		names = append(names, spec.Name)

@@ -193,6 +193,7 @@ func injectSlow(name string) error {
 
 	switch arm.Mode {
 	case ModePanic:
+		//hyperplexvet:ignore nopanic ModePanic exists to inject panics; chaos tests recover the typed Panic value
 		panic(Panic{Site: name})
 	case ModeDelay:
 		time.Sleep(arm.Delay)

@@ -157,6 +157,7 @@ func RandomHypergraph(nv, ne, maxSize int, rng *xrand.RNG) *hypergraph.Hypergrap
 	}
 	h, err := hypergraph.FromEdgeSets(nv, edges)
 	if err != nil {
+		//hyperplexvet:ignore nopanic the generator emits sorted in-range members, so a build failure is a generator bug
 		panic("gen: RandomHypergraph: " + err.Error())
 	}
 	return h

@@ -192,6 +192,7 @@ func (g *Graph) Subgraph(keep []bool) (*Graph, map[int]int) {
 	}
 	sub, err := Build(len(vMap), edges)
 	if err != nil {
+		//hyperplexvet:ignore nopanic remapped endpoints are in range by construction, so a build failure is an internal bug
 		panic("graph: Subgraph: " + err.Error())
 	}
 	return sub, vMap

@@ -58,6 +58,7 @@ func (b *Builder) AddEdgeIDs(name string, members []int32) int {
 	uniq := ms[:0]
 	for i, v := range ms {
 		if v < 0 || int(v) >= len(b.vertexNames) {
+			//hyperplexvet:ignore nopanic documented builder precondition: members must name vertices already added
 			panic(fmt.Sprintf("hypergraph: AddEdgeIDs member %d out of range [0,%d)", v, len(b.vertexNames)))
 		}
 		if i == 0 || ms[i-1] != v {

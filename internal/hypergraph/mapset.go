@@ -109,6 +109,7 @@ func (m *MapHypergraph) Build() (*Hypergraph, map[int]int, map[int]int) {
 	}
 	h, err := b.Build()
 	if err != nil {
+		//hyperplexvet:ignore nopanic generated names are unique by construction, so a build failure is an internal bug
 		panic("hypergraph: MapHypergraph.Build: " + err.Error())
 	}
 	return h, vMap, fMap

@@ -31,7 +31,7 @@ func (h *Hypergraph) Sub(keepV, keepF []bool) (*Hypergraph, map[int]int, map[int
 	}
 	sub, err := b.Build()
 	if err != nil {
-		// Names were unique in h, so they stay unique in the restriction.
+		//hyperplexvet:ignore nopanic names were unique in h, so they stay unique in the restriction
 		panic("hypergraph: Sub: " + err.Error())
 	}
 	return sub, vMap, fMap
@@ -75,6 +75,7 @@ func (h *Hypergraph) Dual() *Hypergraph {
 	}
 	d, err := b.Build()
 	if err != nil {
+		//hyperplexvet:ignore nopanic vertex and edge names were unique in h, so the exchanged names stay unique
 		panic("hypergraph: Dual: " + err.Error())
 	}
 	return d

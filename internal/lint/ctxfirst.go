@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxFirst enforces the repository's context plumbing convention:
+// context.Context is always the first parameter of a signature, the
+// parameter is named ctx (or blank), and contexts are never stored in
+// struct fields — a stored context outlives the call it belongs to and
+// silently detaches cancellation from the work it governs.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter, named ctx, and never live in a struct field",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				checkCtxParams(pass, n)
+			case *ast.StructType:
+				for _, f := range n.Fields.List {
+					if _, isFunc := f.Type.(*ast.FuncType); isFunc {
+						continue // callback fields are checked as FuncTypes
+					}
+					if isContextType(info.TypeOf(f.Type)) {
+						pass.Reportf(f.Pos(), "context.Context stored in a struct field; pass it as the first call parameter instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxParams verifies the position and name of every context
+// parameter in one signature.
+func checkCtxParams(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	index := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies one slot
+		}
+		if isContextType(info.TypeOf(field.Type)) {
+			if index != 0 {
+				pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+			}
+			for _, name := range field.Names {
+				if name.Name != "ctx" && name.Name != "_" {
+					pass.Reportf(name.Pos(), "context parameter should be named ctx, not %s", name.Name)
+				}
+			}
+			if len(field.Names) > 1 {
+				pass.Reportf(field.Pos(), "a signature should take a single context.Context")
+			}
+		}
+		index += n
+	}
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxPair enforces the kernel API convention from the cancellation PR:
+// every exported FooCtx function comes with a plain Foo in the same
+// package (so callers who don't thread contexts keep a simple entry
+// point), a plain wrapper that forwards to FooCtx passes
+// context.Background() rather than TODO or a stored context, and a
+// FooCtx body actually uses its ctx parameter — a dropped context
+// means the kernel silently lost cancellation.
+var CtxPair = &Analyzer{
+	Name: "ctxpair",
+	Doc:  "every exported FooCtx needs a plain Foo twin, and FooCtx must actually use its ctx",
+	Run:  runCtxPair,
+}
+
+func runCtxPair(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Index the package's top-level plain functions by name.
+	decls := make(map[string]*ast.FuncDecl)
+	funcsOf(pass.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Recv == nil {
+			decls[fd.Name.Name] = fd
+		}
+	})
+
+	funcsOf(pass.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		name := fd.Name.Name
+		if fd.Recv != nil || !strings.HasSuffix(name, "Ctx") || name == "Ctx" {
+			return
+		}
+		params := fd.Type.Params
+		if params == nil || len(params.List) == 0 || !isContextType(info.TypeOf(params.List[0].Type)) {
+			return // not a context kernel; ctxfirst complains if ctx hides elsewhere
+		}
+
+		// The ctx parameter must be named and used.
+		ctxField := params.List[0]
+		if len(ctxField.Names) == 0 || ctxField.Names[0].Name == "_" {
+			pass.Reportf(fd.Name.Pos(), "%s drops its context: the ctx parameter is blank", name)
+		} else if fd.Body != nil {
+			obj := info.Defs[ctxField.Names[0]]
+			if obj != nil && !usesObject(pass.Pkg, fd.Body, obj) {
+				pass.Reportf(fd.Name.Pos(), "%s drops its context: the ctx parameter is never used", name)
+			}
+		}
+
+		if !ast.IsExported(name) {
+			return
+		}
+		base := strings.TrimSuffix(name, "Ctx")
+		twin, ok := decls[base]
+		if !ok {
+			pass.Reportf(fd.Name.Pos(), "exported %s has no plain %s twin in this package", name, base)
+			return
+		}
+		checkTwinWrapper(pass, twin, fd)
+	})
+}
+
+// usesObject reports whether any identifier in the subtree refers to
+// the given object.
+func usesObject(pkg *Package, root ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// checkTwinWrapper verifies that wherever the plain twin calls its Ctx
+// variant directly, the first argument is context.Background().  A
+// twin that delegates elsewhere (e.g. the root package forwarding to
+// an internal kernel) is accepted as-is.
+func checkTwinWrapper(pass *Pass, twin, ctxFn *ast.FuncDecl) {
+	if twin.Body == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	ctxObj := info.Defs[ctxFn.Name]
+	ast.Inspect(twin.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || info.Uses[id] != ctxObj || len(call.Args) == 0 {
+			return true
+		}
+		if !isContextBackgroundCall(pass.Pkg, call.Args[0]) {
+			pass.Reportf(call.Pos(), "plain %s must pass context.Background() to %s",
+				twin.Name.Name, ctxFn.Name.Name)
+		}
+		return true
+	})
+}
+
+// isContextBackgroundCall reports whether the expression is exactly
+// context.Background().
+func isContextBackgroundCall(pkg *Package, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isPkgFunc(pkg, call, "context", "Background")
+}

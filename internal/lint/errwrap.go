@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ErrWrap enforces the typed-error contract: sentinel errors like
+// run.ErrBudgetExceeded and failpoint.ErrInjected stay matchable with
+// errors.Is only while every layer wraps with %w.  The analyzer flags
+// fmt.Errorf calls that format an error value with %v/%s/%q (which
+// flattens the chain), and stringly-typed error matching — comparing
+// or substring-searching Error() output instead of using errors.Is.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "wrap errors with %w and match them with errors.Is, never by string",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfCall(pass, n)
+				checkStringsMatch(pass, n)
+			case *ast.BinaryExpr:
+				checkErrorCompare(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfCall flags fmt.Errorf("... %v ...", err) where err is an
+// error value: the verb must be %w so the chain stays unwrappable.
+func checkErrorfCall(pass *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(pass.Pkg, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv := pass.Pkg.Info.Types[call.Args[0]]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	for _, v := range parseVerbs(constant.StringVal(tv.Value)) {
+		argIdx := 1 + v.arg
+		if argIdx >= len(call.Args) {
+			return // fmt mismatch; go vet reports it
+		}
+		switch v.verb {
+		case 'v', 's', 'q':
+			if implementsError(pass.Pkg.Info.TypeOf(call.Args[argIdx])) {
+				pass.Reportf(call.Args[argIdx].Pos(),
+					"error value formatted with %%%c flattens the chain; wrap it with %%w so errors.Is keeps working", v.verb)
+			}
+		}
+	}
+}
+
+// checkErrorCompare flags `err.Error() == "..."` (and !=): sentinel
+// errors are matched with errors.Is, not by their rendered text.
+func checkErrorCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isErrorStringCall(pass.Pkg, be.X) || isErrorStringCall(pass.Pkg, be.Y) {
+		pass.Reportf(be.Pos(), "comparing Error() strings; match sentinel errors with errors.Is (or errors.As)")
+	}
+}
+
+// checkStringsMatch flags strings.Contains/HasPrefix/HasSuffix applied
+// to Error() output.
+func checkStringsMatch(pass *Pass, call *ast.CallExpr) {
+	for _, name := range []string{"Contains", "HasPrefix", "HasSuffix"} {
+		if isPkgFunc(pass.Pkg, call, "strings", name) {
+			for _, arg := range call.Args {
+				if isErrorStringCall(pass.Pkg, arg) {
+					pass.Reportf(call.Pos(), "substring-matching Error() output; match sentinel errors with errors.Is")
+					return
+				}
+			}
+		}
+	}
+}
+
+// isErrorStringCall reports whether the expression is a nullary
+// .Error() call on an error value.
+func isErrorStringCall(pkg *Package, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return implementsError(pkg.Info.TypeOf(sel.X))
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// fmtVerb is one formatting verb and the 0-based index of the operand
+// it consumes.
+type fmtVerb struct {
+	verb rune
+	arg  int
+}
+
+// parseVerbs scans a Printf-style format string and maps verbs to
+// operand indexes, accounting for flags, * width/precision operands,
+// and explicit [n] argument indexes.
+func parseVerbs(format string) []fmtVerb {
+	var verbs []fmtVerb
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(runes) && (runes[i] == '#' || runes[i] == '+' || runes[i] == '-' ||
+			runes[i] == ' ' || runes[i] == '0') {
+			i++
+		}
+		// Explicit argument index [n].
+		if i < len(runes) && runes[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(runes) && runes[j] >= '0' && runes[j] <= '9' {
+				n = n*10 + int(runes[j]-'0')
+				j++
+			}
+			if j < len(runes) && runes[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		// Width.
+		for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+			i++
+		}
+		if i < len(runes) && runes[i] == '*' {
+			arg++
+			i++
+		}
+		// Precision.
+		if i < len(runes) && runes[i] == '.' {
+			i++
+			for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+				i++
+			}
+			if i < len(runes) && runes[i] == '*' {
+				arg++
+				i++
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		verbs = append(verbs, fmtVerb{verb: runes[i], arg: arg})
+		arg++
+	}
+	return verbs
+}

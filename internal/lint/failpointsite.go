@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// failpointPath is the import-path suffix identifying the fault
+// injection registry package.
+const failpointPath = "internal/failpoint"
+
+// FailpointSite enforces the chaos-suite contract around failpoint
+// sites: failpoint.Register is only called to initialize a dedicated
+// package-level var, its site name is a compile-time string constant,
+// and failpoint.Inject always goes through such a registered var.
+// Dynamic or inline site names would let a kernel checkpoint drift out
+// of the registry, bypassing the chaos suite's every-site × every-arm
+// sweep and its unregistered-site guard.
+var FailpointSite = &Analyzer{
+	Name: "failpointsite",
+	Doc:  "failpoint sites are package-level vars registered with constant names",
+	Run:  runFailpointSite,
+}
+
+func runFailpointSite(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, "/"+failpointPath) {
+		return // the registry implementation itself is exempt
+	}
+	info := pass.Pkg.Info
+
+	// Pass 1: bless Register calls that initialize a single
+	// package-level var, and remember those site vars.
+	blessed := make(map[*ast.CallExpr]bool)
+	sites := make(map[types.Object]bool)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+					continue
+				}
+				call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr)
+				if !ok || !isPkgFunc(pass.Pkg, call, failpointPath, "Register") {
+					continue
+				}
+				blessed[call] = true
+				if len(call.Args) == 1 {
+					tv := info.Types[call.Args[0]]
+					if tv.Value == nil || tv.Value.Kind() != constant.String {
+						pass.Reportf(call.Args[0].Pos(), "failpoint site name must be a constant string, not a dynamic expression")
+					}
+				}
+				if obj := info.Defs[vs.Names[0]]; obj != nil {
+					sites[obj] = true
+				}
+			}
+		}
+	}
+
+	// Pass 2: every other Register call, and every Inject that does
+	// not route through a registered site var, is a violation.
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgFunc(pass.Pkg, call, failpointPath, "Register"):
+				if !blessed[call] {
+					pass.Reportf(call.Pos(), "failpoint.Register must initialize a dedicated package-level var (var fpFoo = failpoint.Register(...))")
+				}
+			case isPkgFunc(pass.Pkg, call, failpointPath, "Inject"):
+				if len(call.Args) != 1 {
+					return true
+				}
+				id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+				if !ok || !sites[info.Uses[id]] {
+					pass.Reportf(call.Args[0].Pos(), "failpoint.Inject must be called with a site var registered at package level, so the chaos suite can enumerate it")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoRecover enforces the goroutine-boundary contract: every goroutine
+// launched in library code defers panic recovery (directly, or through
+// a recover helper such as cli.RecoverPanic), so a worker panic
+// surfaces as a typed error like *core.WorkerPanicError instead of
+// crashing the process from a goroutine the caller never sees.  The
+// goroutine body must be a func literal — a bare `go namedFunc()`
+// hides whether the callee recovers.
+var GoRecover = &Analyzer{
+	Name: "gorecover",
+	Doc:  "library goroutines must defer a recover at the goroutine boundary",
+	Run:  runGoRecover,
+}
+
+func runGoRecover(pass *Pass) {
+	if !pass.Pkg.IsLibrary() {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				pass.Reportf(g.Pos(), "go must launch a func literal that defers panic recovery, not a bare function call")
+				return true
+			}
+			if !hasDeferredRecover(pass.Pkg, fl.Body) {
+				pass.Reportf(g.Pos(), "goroutine has no deferred recover; recover at the boundary and surface the panic as a typed error")
+			}
+			return true
+		})
+	}
+}
+
+// hasDeferredRecover reports whether the statement block defers panic
+// recovery at its own goroutine level (nested func literals belong to
+// other goroutines or calls and do not count).
+func hasDeferredRecover(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if deferRecovers(pkg, n) {
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// deferRecovers reports whether a defer statement performs panic
+// recovery: it defers a func literal containing a recover() call, or
+// defers a function whose name marks it as a recover helper.
+func deferRecovers(pkg *Package, d *ast.DeferStmt) bool {
+	switch fun := ast.Unparen(d.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return callsRecover(pkg, fun.Body)
+	case *ast.Ident:
+		return nameRecovers(fun.Name)
+	case *ast.SelectorExpr:
+		return nameRecovers(fun.Sel.Name)
+	}
+	return false
+}
+
+// callsRecover reports whether the block calls the recover builtin at
+// its own function level.
+func callsRecover(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltinCall(pkg, call, "recover") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// nameRecovers reports whether a function name declares it a recover
+// helper (RecoverPanic, recoverPeelAbort, ...).
+func nameRecovers(name string) bool {
+	return strings.Contains(strings.ToLower(name), "recover")
+}

@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module, the
+// unit every analyzer runs over.  Test files (*_test.go) are excluded:
+// the contracts the suite enforces are library contracts, and test
+// packages arm failpoints, match error strings and panic freely.
+type Package struct {
+	// Path is the full import path (e.g. "hyperplex/internal/core").
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Name is the package name declared by the files.
+	Name string
+	// Module is the module path from go.mod ("hyperplex").
+	Module string
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types and Info hold the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+	// Sources maps each file name to its raw content, so the ignore
+	// scanner can tell trailing directives from standalone ones.
+	Sources map[string][]byte
+}
+
+// IsLibrary reports whether the package is library code — the module
+// root package or anything under internal/ — as opposed to a command
+// or an example.  Scoped analyzers (nopanic, gorecover) only apply to
+// library packages.
+func (p *Package) IsLibrary() bool {
+	return p.Path == p.Module || strings.HasPrefix(p.Path, p.Module+"/internal/")
+}
+
+// Program is the result of one Load call: the requested packages (not
+// their transitive imports) sharing one FileSet.
+type Program struct {
+	Fset   *token.FileSet
+	Module string
+	Root   string
+	Pkgs   []*Package
+}
+
+// Load resolves the given patterns relative to dir and parses and
+// type-checks every matched package using only the standard library.
+// A pattern is either a directory ("./internal/core") or a recursive
+// wildcard ("./...", "dir/..."); wildcard expansion skips testdata,
+// vendor and hidden directories, exactly like the go tool, while an
+// explicit directory is always loaded (which is how the fixture tests
+// reach packages under testdata).  Imports within the module are
+// type-checked from source; all other imports resolve through the
+// toolchain's export data with a source-importer fallback.
+func Load(dir string, patterns ...string) (*Program, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving %s: %w", dir, err)
+	}
+	root, module, err := findModule(absDir)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:   token.NewFileSet(),
+		root:   root,
+		module: module,
+		pkgs:   make(map[string]*Package),
+	}
+	l.std = importer.Default()
+
+	dirs, err := expandPatterns(absDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: l.fset, Module: module, Root: root}
+	seen := make(map[string]bool)
+	for _, d := range dirs {
+		path, err := l.importPathFor(d)
+		if err != nil {
+			return nil, err
+		}
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	return prog, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, module string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if name, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(name), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// expandPatterns turns patterns into a list of absolute package
+// directories.  Wildcard walks skip testdata, vendor, and dot or
+// underscore directories, and silently drop directories with no Go
+// files; an explicit directory must contain at least one non-test Go
+// file.
+func expandPatterns(dir string, patterns []string) ([]string, error) {
+	var dirs []string
+	for _, pat := range patterns {
+		if base, ok := strings.CutSuffix(pat, "..."); ok {
+			base = strings.TrimSuffix(base, "/")
+			if base == "" || base == "." {
+				base = dir
+			} else if !filepath.IsAbs(base) {
+				base = filepath.Join(dir, base)
+			}
+			err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != base && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if names, _ := goFilesIn(p); len(names) > 0 {
+					dirs = append(dirs, p)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lint: expanding %s: %w", pat, err)
+			}
+			continue
+		}
+		p := pat
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(dir, p)
+		}
+		names, err := goFilesIn(p)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", pat, err)
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("lint: %s: no non-test Go files", pat)
+		}
+		dirs = append(dirs, p)
+	}
+	return dirs, nil
+}
+
+// goFilesIn lists the non-test Go files of a directory, sorted.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// loader memoizes parsed and type-checked packages and implements
+// types.Importer for imports inside the module.
+type loader struct {
+	fset   *token.FileSet
+	root   string
+	module string
+	pkgs   map[string]*Package
+	stack  []string // import chain, for cycle diagnostics
+	std    types.Importer
+	stdSrc types.Importer
+}
+
+// importPathFor maps an absolute directory inside the module to its
+// import path.
+func (l *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.module)
+	}
+	if rel == "." {
+		return l.module, nil
+	}
+	return l.module + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor is the inverse of importPathFor.
+func (l *loader) dirFor(path string) string {
+	if path == l.module {
+		return l.root
+	}
+	return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+}
+
+// load parses and type-checks the package at the given module-internal
+// import path, memoized.
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	for _, s := range l.stack {
+		if s == path {
+			return nil, fmt.Errorf("lint: import cycle: %s", strings.Join(append(l.stack, path), " -> "))
+		}
+	}
+	l.stack = append(l.stack, path)
+	defer func() { l.stack = l.stack[:len(l.stack)-1] }()
+
+	dir := l.dirFor(path)
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: %s: no non-test Go files in %s", path, dir)
+	}
+	var files []*ast.File
+	sources := make(map[string][]byte)
+	pkgName := ""
+	for _, name := range names {
+		filename := filepath.Join(dir, name)
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		f, err := parser.ParseFile(l.fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("lint: %s: mixed package names %s and %s", path, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+		sources[filename] = src
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error: func(err error) {
+			if len(typeErrs) < 10 {
+				typeErrs = append(typeErrs, err)
+			}
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, len(typeErrs))
+		for i, e := range typeErrs {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("lint: type-checking %s:\n\t%s", path, strings.Join(msgs, "\n\t"))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+
+	pkg := &Package{
+		Path:    path,
+		Dir:     dir,
+		Name:    pkgName,
+		Module:  l.module,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Sources: sources,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-internal packages are
+// loaded from source through the same loader, everything else is
+// resolved from the toolchain's export data, falling back to the
+// source importer (which type-checks GOROOT source) when export data
+// is unavailable.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if pkg, err := l.std.Import(path); err == nil {
+		return pkg, nil
+	}
+	if l.stdSrc == nil {
+		l.stdSrc = importer.ForCompiler(l.fset, "source", nil)
+	}
+	return l.stdSrc.Import(path)
+}

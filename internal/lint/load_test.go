@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadWildcardSkipsTestdata checks that ./... walks the module but
+// never descends into testdata, vendor, or hidden directories — the
+// fixtures under internal/lint/testdata must only load when named
+// explicitly.
+func TestLoadWildcardSkipsTestdata(t *testing.T) {
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	if prog.Module != "hyperplex" {
+		t.Errorf("module = %q, want hyperplex", prog.Module)
+	}
+	seen := make(map[string]bool)
+	for _, pkg := range prog.Pkgs {
+		seen[pkg.Path] = true
+		if strings.Contains(pkg.Path, "testdata") {
+			t.Errorf("wildcard loaded testdata package %s", pkg.Path)
+		}
+	}
+	for _, want := range []string{"hyperplex", "hyperplex/internal/lint", "hyperplex/cmd/hyperplexvet"} {
+		if !seen[want] {
+			t.Errorf("wildcard did not load %s", want)
+		}
+	}
+}
+
+// TestLoadExplicitDir checks that naming a testdata directory loads it
+// despite the wildcard exclusion.
+func TestLoadExplicitDir(t *testing.T) {
+	prog, err := Load(".", "./testdata/src/clean")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(prog.Pkgs) != 1 || prog.Pkgs[0].Name != "clean" {
+		t.Fatalf("loaded %d packages, want exactly the clean fixture", len(prog.Pkgs))
+	}
+	if !prog.Pkgs[0].IsLibrary() {
+		t.Error("fixture under internal/ must count as library code so nopanic and gorecover fire on it")
+	}
+}
+
+// TestLoadMissingDir checks the error path for a nonexistent pattern.
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(".", "./no/such/dir"); err == nil {
+		t.Fatal("loading a nonexistent directory succeeded")
+	}
+}
+
+// TestIsLibrary pins the library/binary split the nopanic and
+// gorecover analyzers rely on.
+func TestIsLibrary(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"hyperplex", true},
+		{"hyperplex/internal/core", true},
+		{"hyperplex/internal/lint", true},
+		{"hyperplex/cmd/hyperplexvet", false},
+		{"hyperplex/examples/table1", false},
+	}
+	for _, c := range cases {
+		p := &Package{Path: c.path, Module: "hyperplex"}
+		if got := p.IsLibrary(); got != c.want {
+			t.Errorf("IsLibrary(%s) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

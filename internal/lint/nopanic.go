@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoPanic bans naked panics in library code: kernels and readers
+// return typed errors, and the chaos suite proves they degrade instead
+// of crashing.  Three idioms are allowed without a directive, because
+// they are themselves part of the contract:
+//
+//   - Must-prefixed helpers (MustBuild, mustFromEdgeSets): panicking
+//     on invalid input is their documented purpose;
+//   - functions that call recover(): recovery helpers legitimately
+//     re-panic values they do not own, and a function that recovers a
+//     worker panic may re-raise it on the caller's own goroutine;
+//   - the plain twin of a Ctx kernel (a package-level Foo whose FooCtx
+//     exists): it panics on the impossible error of a background
+//     context, which only an armed failpoint can produce.
+//
+// Anything else needs a typed error or an explicit
+// //hyperplexvet:ignore nopanic <reason> directive documenting the
+// invariant.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "no naked panic in library code outside Must helpers, recover helpers, and Ctx twins",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	if !pass.Pkg.IsLibrary() {
+		return
+	}
+
+	// Names of top-level functions, to recognize Ctx twins.
+	topLevel := make(map[string]bool)
+	funcsOf(pass.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Recv == nil {
+			topLevel[fd.Name.Name] = true
+		}
+	})
+
+	report := func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isBuiltinCall(pass.Pkg, call, "panic") {
+				pass.Reportf(call.Pos(), "naked panic in library code: return a typed error, or annotate a genuine invariant with %signore nopanic <reason>", directivePrefix)
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				report(decl) // panics in var initializers and the like
+				continue
+			}
+			if fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if strings.HasPrefix(strings.ToLower(name), "must") {
+				continue
+			}
+			if fd.Recv == nil && topLevel[name+"Ctx"] {
+				continue // plain twin of a Ctx kernel
+			}
+			if callsRecoverAnywhere(pass.Pkg, fd.Body) {
+				continue // recovery helper or worker-boundary owner
+			}
+			report(fd.Body)
+		}
+	}
+}
+
+// callsRecoverAnywhere reports whether the block calls recover() at
+// any depth, including nested func literals — a function that recovers
+// worker panics may re-raise them on its own goroutine.
+func callsRecoverAnywhere(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltinCall(pkg, call, "recover") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,27 @@
+package lint
+
+import "testing"
+
+// TestSelfLint runs the full analyzer suite over the whole repository
+// and requires zero diagnostics: every kernel contract the analyzers
+// encode is machine-checked on each test run, and any new violation —
+// or any ignore directive that loses its reason — fails the build.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-lint type-checks the whole module; skipped in -short mode")
+	}
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	if len(prog.Pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the ./... walk is broken", len(prog.Pkgs))
+	}
+	diags := RunSuite(prog, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("%d diagnostic(s); fix the code or add a reasoned //hyperplexvet:ignore directive", len(diags))
+	}
+}

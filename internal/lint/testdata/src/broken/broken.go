@@ -1,0 +1,5 @@
+// Package broken does not type-check; the CLI must exit 2 on it.
+package broken
+
+// Boom returns the wrong type.
+func Boom() int { return "not an int" }

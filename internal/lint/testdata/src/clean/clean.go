@@ -1,0 +1,21 @@
+// Package clean is a fully compliant fixture used by the CLI tests.
+package clean
+
+import (
+	"context"
+	"fmt"
+)
+
+// AnswerCtx honors cancellation before answering.
+func AnswerCtx(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("clean: %w", err)
+	}
+	return 42, nil
+}
+
+// Answer is the plain twin of AnswerCtx.
+func Answer() int {
+	v, _ := AnswerCtx(context.Background())
+	return v
+}

@@ -1,0 +1,37 @@
+// Package ctxfirst is a fixture for the ctxfirst analyzer.
+package ctxfirst
+
+import "context"
+
+// Late takes its context in the wrong position.
+func Late(n int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = n
+	return ctx.Err()
+}
+
+// Renamed names its context parameter unconventionally.
+func Renamed(c context.Context) error { // want "context parameter should be named ctx, not c"
+	return c.Err()
+}
+
+// holder stores a context across calls.
+type holder struct {
+	ctx context.Context // want "context.Context stored in a struct field"
+	n   int
+}
+
+// Callback types are signatures too.
+type Callback func(n int, ctx context.Context) // want "context.Context must be the first parameter"
+
+// Ok is compliant, as is a blank first context.
+func Ok(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+// Iface methods are signatures as well.
+type Iface interface {
+	Do(ctx context.Context) error
+}
+
+var _ = holder{}

@@ -1,0 +1,47 @@
+// Package ctxpair is a fixture for the ctxpair analyzer.
+package ctxpair
+
+import "context"
+
+// DropCtx has a plain twin but never touches its context.
+func DropCtx(ctx context.Context, n int) int { return n } // want "drops its context: the ctx parameter is never used"
+
+// Drop is the compliant plain twin of DropCtx.
+func Drop(n int) int { return DropCtx(context.Background(), n) }
+
+// BlankCtx discards its context at the signature.
+func BlankCtx(_ context.Context) int { return 1 } // want "drops its context: the ctx parameter is blank"
+
+// Blank is the compliant plain twin of BlankCtx.
+func Blank() int { return BlankCtx(context.Background()) }
+
+// OrphanCtx uses its context but ships without a plain twin.
+func OrphanCtx(ctx context.Context) error { return ctx.Err() } // want "exported OrphanCtx has no plain Orphan twin"
+
+// TodoCtx itself is compliant.
+func TodoCtx(ctx context.Context) error { return ctx.Err() }
+
+// Todo wraps TodoCtx with the wrong context constructor.
+func Todo() error {
+	return TodoCtx(context.TODO()) // want "plain Todo must pass context.Background\(\) to TodoCtx"
+}
+
+// helperCtx is unexported: no twin required, but the context must
+// still be used.
+func helperCtx(ctx context.Context) int { _ = ctx; return 2 }
+
+// GoodCtx and Good are the convention done right.
+func GoodCtx(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Good is the compliant plain twin of GoodCtx.
+func Good(n int) int {
+	v, _ := GoodCtx(context.Background(), n)
+	return v
+}
+
+var _ = helperCtx

@@ -1,0 +1,39 @@
+// Package errwrap is a fixture for the errwrap analyzer.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrSentinel is a sentinel error callers should match with errors.Is.
+var ErrSentinel = errors.New("errwrap: sentinel")
+
+// Flatten breaks the error chain with %v.
+func Flatten(err error) error {
+	return fmt.Errorf("loading: %v", err) // want "error value formatted with %v flattens the chain"
+}
+
+// FlattenIndexed breaks the chain through an explicit operand index.
+func FlattenIndexed(err error) error {
+	return fmt.Errorf("attempt %d: %[2]s", 3, err) // want "error value formatted with %s flattens the chain"
+}
+
+// WrapOK keeps the chain intact.
+func WrapOK(err error) error {
+	return fmt.Errorf("loading: %w", err)
+}
+
+// Stringly matches errors by their rendered text.
+func Stringly(err error) bool {
+	if err.Error() == "errwrap: sentinel" { // want "comparing Error\(\) strings"
+		return true
+	}
+	return strings.Contains(err.Error(), "sentinel") // want "substring-matching Error\(\) output"
+}
+
+// TypedOK matches the sentinel properly.
+func TypedOK(err error) bool {
+	return errors.Is(err, ErrSentinel)
+}

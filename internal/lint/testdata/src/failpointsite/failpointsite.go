@@ -1,0 +1,26 @@
+// Package failpointsite is a fixture for the failpointsite analyzer.
+package failpointsite
+
+import "hyperplex/internal/failpoint"
+
+// fpGood is the convention: one package-level var, constant name.
+var fpGood = failpoint.Register("fixture.good")
+
+// fpDyn registers under a dynamic name the chaos suite cannot see.
+var fpDyn = failpoint.Register(siteName()) // want "failpoint site name must be a constant string"
+
+func siteName() string { return "fixture.dyn" }
+
+func work() error {
+	site := failpoint.Register("fixture.local") // want "failpoint.Register must initialize a dedicated package-level var"
+	_ = site
+	if err := failpoint.Inject(fpGood); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(fpDyn); err != nil {
+		return err
+	}
+	return failpoint.Inject("fixture.raw") // want "failpoint.Inject must be called with a site var registered at package level"
+}
+
+var _ = work

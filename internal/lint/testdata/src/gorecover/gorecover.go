@@ -1,0 +1,60 @@
+// Package gorecover is a fixture for the gorecover analyzer.
+package gorecover
+
+import "sync"
+
+// Bare launches goroutines that violate the recovery contract.
+func Bare() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // want "goroutine has no deferred recover"
+		defer wg.Done()
+	}()
+	go worker(&wg) // want "go must launch a func literal"
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) { defer wg.Done() }
+
+// Nested recovery belongs to the inner goroutine, not the outer one.
+func Nested() {
+	done := make(chan struct{})
+	go func() { // want "goroutine has no deferred recover"
+		defer close(done)
+		inner := func() {
+			defer func() { _ = recover() }()
+		}
+		inner()
+	}()
+	<-done
+}
+
+// Good recovers at the boundary with a func literal.
+func Good() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			if x := recover(); x != nil {
+				_ = x
+			}
+		}()
+	}()
+	<-done
+}
+
+// Helper recovers through a named recover helper.
+func Helper() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var err error
+		defer recoverInto(&err)
+	}()
+	<-done
+}
+
+func recoverInto(err *error) {
+	_ = recover()
+	_ = err
+}

@@ -1,0 +1,40 @@
+// Package nopanic is a fixture for the nopanic analyzer.
+package nopanic
+
+import "context"
+
+// Explode panics where a typed error belongs.
+func Explode(n int) int {
+	if n < 0 {
+		panic("nopanic: negative n") // want "naked panic in library code"
+	}
+	return n
+}
+
+// MustExplode is a Must helper: panicking is its documented purpose.
+func MustExplode(n int) int {
+	if n < 0 {
+		panic("nopanic: negative n")
+	}
+	return n
+}
+
+// rethrow is a recovery helper re-raising a foreign panic.
+func rethrow() {
+	if x := recover(); x != nil {
+		panic(x)
+	}
+}
+
+// WrapCtx is a compliant Ctx kernel.
+func WrapCtx(ctx context.Context) error { return ctx.Err() }
+
+// Wrap is the plain twin: panicking on the impossible error of a
+// background context is the blessed convention.
+func Wrap() {
+	if err := WrapCtx(context.Background()); err != nil {
+		panic(err)
+	}
+}
+
+var _ = rethrow

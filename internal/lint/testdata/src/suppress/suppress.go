@@ -1,0 +1,39 @@
+// Package suppress is a fixture for the ignore-directive machinery,
+// exercised through the nopanic analyzer.
+package suppress
+
+// Invariant documents its panic with a standalone directive.
+func Invariant(n int) int {
+	if n < 0 {
+		//hyperplexvet:ignore nopanic negative n is a caller bug; the precondition is documented
+		panic("suppress: negative n")
+	}
+	return n
+}
+
+// Trailing documents its panic with a trailing directive.
+func Trailing(n int) int {
+	if n > 1<<30 {
+		panic("suppress: n too large") //hyperplexvet:ignore nopanic documented size cap
+	}
+	return n
+}
+
+// Unreasoned shows that a directive without a reason suppresses
+// nothing and is itself reported.
+func Unreasoned(n int) int {
+	if n < 0 {
+		//hyperplexvet:ignore nopanic
+		panic("suppress: no reason given") // want "naked panic in library code"
+	}
+	return n
+}
+
+// Unknown shows that directives naming unknown analyzers are reported.
+func Unknown(n int) int {
+	if n < 0 {
+		//hyperplexvet:ignore nosuchlint because reasons
+		panic("suppress: unknown analyzer") // want "naked panic in library code"
+	}
+	return n
+}

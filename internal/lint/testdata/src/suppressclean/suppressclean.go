@@ -1,0 +1,21 @@
+// Package suppressclean carries one violation of every suppressible
+// kind, each covered by a well-formed ignore directive: the whole
+// package must lint clean, which is how the CLI test proves
+// suppressions are honored end to end.
+package suppressclean
+
+import "context"
+
+// keeper pins a context for the lifetime of one call tree.
+type keeper struct {
+	//hyperplexvet:ignore ctxfirst fixture: scoped to a single call, mirroring core.peeler
+	ctx context.Context
+}
+
+// Check panics on a documented invariant.
+func Check(k keeper) {
+	if k.ctx == nil {
+		//hyperplexvet:ignore nopanic fixture: a nil context here is a constructor bug
+		panic("suppressclean: nil context")
+	}
+}

@@ -229,10 +229,16 @@ func DistanceHistogram(h *hypergraph.Hypergraph, workers int) []int64 {
 		next <- v
 	}
 	close(next)
+	var panicked atomic.Pointer[any]
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if x := recover(); x != nil {
+					panicked.CompareAndSwap(nil, &x)
+				}
+			}()
 			var dist []int32
 			local := []int64{}
 			for src := range next {
@@ -252,6 +258,10 @@ func DistanceHistogram(h *hypergraph.Hypergraph, workers int) []int64 {
 		}(w)
 	}
 	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		//hyperplexvet:ignore nopanic re-raising a worker panic on the caller goroutine after the recover boundary
+		panic(*p)
+	}
 	var out []int64
 	for _, local := range hists {
 		for d, c := range local {

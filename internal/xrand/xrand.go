@@ -45,6 +45,7 @@ func (r *RNG) Uint64() uint64 {
 // Intn returns a uniform value in [0, n).  It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		//hyperplexvet:ignore nopanic mirrors math/rand.Intn's documented contract
 		panic("xrand: Intn with non-positive n")
 	}
 	// Multiply-shift rejection-free mapping is fine for simulation use;
@@ -99,6 +100,7 @@ func (r *RNG) NormFloat64() float64 {
 // discrete distribution.  It panics on invalid bounds.
 func (r *RNG) PowerLawInt(gamma float64, dmin, dmax int) int {
 	if dmin < 1 || dmax < dmin {
+		//hyperplexvet:ignore nopanic documented precondition, matching the math/rand panic convention for samplers
 		panic("xrand: PowerLawInt bounds invalid")
 	}
 	if dmin == dmax {
