@@ -235,6 +235,30 @@ func BenchmarkExtParallelCore(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedDecompose measures the sharded decomposition engine
+// against the sequential peeler on a banded hypergraph, across shard
+// counts.
+func BenchmarkShardedDecompose(b *testing.B) {
+	spec := gen.MatrixSpec{Name: "bench", Rows: 8000, Cols: 8000, Band: 10, BandFill: 0.7, RandomPerRow: 2, Seed: 0xBE}
+	m := gen.SyntheticMatrix(spec)
+	h, err := mmio.ToHypergraph(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Decompose(h)
+		}
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run("sharded-"+itoa(shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ShardedDecompose(h, core.ShardedOptions{Shards: shards})
+			}
+		})
+	}
+}
+
 // BenchmarkExtModelCompare regenerates experiment X4: building the
 // competing representations.
 func BenchmarkExtModelCompare(b *testing.B) {

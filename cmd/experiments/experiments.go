@@ -20,6 +20,21 @@ import (
 	"hyperplex/internal/xrand"
 )
 
+// maxCoreVia computes the maximum core with the engine selected by
+// -shards: the sequential peeler by default, or the sharded
+// decomposition engine (both produce the same cores; the golden test
+// pins that on the paper numbers).
+func maxCoreVia(h *hypergraph.Hypergraph, o options) *core.Result {
+	if o.shards <= 0 {
+		return core.MaxCore(h)
+	}
+	d := core.ShardedDecompose(h, core.ShardedOptions{Shards: o.shards})
+	if d.MaxK == 0 {
+		return core.KCore(h, 0)
+	}
+	return d.Core(d.MaxK)
+}
+
 // runF1 reproduces Fig. 1: the protein degree distribution of the
 // Cellzome hypergraph and its power-law fit.
 func runF1(w io.Writer, o options) error {
@@ -110,7 +125,7 @@ func runT1(w io.Writer, o options) error {
 			MaxDeg2F: h.MaxDegree2Edge(),
 		}
 		start := time.Now()
-		mc := core.MaxCore(h)
+		mc := maxCoreVia(h, o)
 		row.ElapsedSec = time.Since(start).Seconds()
 		row.MaxCoreK = mc.K
 		row.CoreV = mc.NumVertices
@@ -170,7 +185,7 @@ func runS3(w io.Writer, o options) error {
 	p := inst.Published
 
 	start := time.Now()
-	mc := core.MaxCore(h)
+	mc := maxCoreVia(h, o)
 	elapsed := time.Since(start)
 	fmt.Fprintf(w, "maximum core: %d-core with %d proteins and %d complexes in %.3fs (paper: %d-core, %d/%d, 0.47s)\n",
 		mc.K, mc.NumVertices, mc.NumEdges, elapsed.Seconds(), p.MaxCoreK, p.MaxCoreProteins, p.MaxCoreComplexes)
@@ -425,6 +440,22 @@ func runX3(w io.Writer, o options) error {
 	}
 	fmt.Fprintf(w, "(host has %d CPU(s); with one CPU the gain is algorithmic — the round-synchronous\n", runtime.NumCPU())
 	fmt.Fprintln(w, " peeler skips the up-front global overlap table that the sequential peeler builds)")
+	shardSet := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		shardSet = append(shardSet, n)
+	}
+	for _, shards := range shardSet {
+		start = time.Now()
+		d := core.ShardedDecompose(h, core.ShardedOptions{Shards: shards})
+		t := time.Since(start)
+		sc := d.Core(k)
+		match := "OK"
+		if sc.NumVertices != seq.NumVertices || sc.NumEdges != seq.NumEdges {
+			match = "MISMATCH"
+		}
+		fmt.Fprintf(w, "sharded %2d shards: %8.3fs full decomposition (max k = %d, %d-core %d/%d) [%s]\n",
+			shards, t.Seconds(), d.MaxK, k, sc.NumVertices, sc.NumEdges, match)
+	}
 	return nil
 }
 

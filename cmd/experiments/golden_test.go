@@ -86,6 +86,36 @@ func TestGoldenPaperNumbers(t *testing.T) {
 	}
 }
 
+// TestGoldenShardedMatchesSequential pins that the sharded engine
+// prints the identical paper numbers: the §3 core-proteome experiment
+// run with -shards must produce byte-identical output (after erasing
+// wall-clock timings) to the sequential run, including the headline
+// "6-core with 41 proteins and 54 complexes".
+func TestGoldenShardedMatchesSequential(t *testing.T) {
+	runS3With := func(o options) string {
+		var buf bytes.Buffer
+		for _, e := range allExperiments {
+			if e.id != "S3" {
+				continue
+			}
+			if err := e.run(&buf, o); err != nil {
+				t.Fatalf("S3 with %+v: %v", o, err)
+			}
+		}
+		return timingRe.ReplaceAllString(buf.String(), "<time>")
+	}
+	seq := runS3With(options{outDir: t.TempDir()})
+	if !strings.Contains(seq, "6-core with 41 proteins and 54 complexes") {
+		t.Fatalf("sequential S3 lost the paper's core proteome:\n%s", seq)
+	}
+	for _, shards := range []int{1, 3, 16} {
+		sharded := runS3With(options{outDir: t.TempDir(), shards: shards})
+		if sharded != seq {
+			t.Errorf("S3 output with shards=%d differs from sequential:\n%s", shards, firstDiff(seq, sharded))
+		}
+	}
+}
+
 // firstDiff renders the first differing line of two texts.
 func firstDiff(want, got string) string {
 	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")

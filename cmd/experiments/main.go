@@ -26,6 +26,7 @@ func main() {
 	short := flag.Bool("short", false, "shrink the Table 1 matrices and trial counts for a quick run")
 	outDir := flag.String("out", ".", "directory for generated artifacts (fig3.net, fig3.clu)")
 	trials := flag.Int("trials", 100, "TAP simulation trials for X1")
+	shards := flag.Int("shards", 0, "compute maximum cores with the sharded engine on this many shards (0 = sequential peeler)")
 	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this duration (0 = no limit)")
 	flag.Parse()
 	ctx, cancel := cli.WithTimeout(context.Background(), *timeout)
@@ -42,7 +43,7 @@ func main() {
 		}
 	}
 
-	opts := options{short: *short, outDir: *outDir, trials: *trials}
+	opts := options{short: *short, outDir: *outDir, trials: *trials, shards: *shards}
 	if *short && *trials > 20 {
 		opts.trials = 20
 	}
@@ -82,6 +83,9 @@ type options struct {
 	short  bool
 	outDir string
 	trials int
+	// shards > 0 routes maximum-core computations through the sharded
+	// decomposition engine; 0 keeps the sequential peeler.
+	shards int
 }
 
 type experiment struct {

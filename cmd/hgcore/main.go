@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	hgcore [-k N | -max | -decompose] [-l N] [-mtx] [-parallel N] [-pajek PREFIX] [file]
+//	hgcore [-k N | -max | -decompose] [-l N] [-mtx] [-parallel N] [-shards N] [-pajek PREFIX] [file]
 //
 // With -k it prints the members of the k-core (or the (k, l)-core with
 // -l); with -max (default) the maximum core; with -decompose the
@@ -43,6 +43,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	decompose := fs.Bool("decompose", false, "print the coreness of every vertex")
 	mtx := fs.Bool("mtx", false, "input is a Matrix Market file")
 	parallel := fs.Int("parallel", 0, "use the parallel algorithm with this many workers (0 = sequential)")
+	shards := fs.Int("shards", 0, "use the sharded decomposition engine with this many shards (0 = sequential)")
 	pajekPrefix := fs.String("pajek", "", "write PREFIX.net and PREFIX.clu with the core highlighted")
 	quiet := fs.Bool("quiet", false, "suppress the member listing")
 	timeout := fs.Duration("timeout", 0, "abort if reading plus peeling exceed this duration (0 = no limit)")
@@ -57,9 +58,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 		return err
 	}
 
+	// decomposeVia routes through the sharded engine when -shards is
+	// set; both paths produce identical vertex coreness.
+	decomposeVia := func() (*core.Decomposition, error) {
+		if *shards > 0 {
+			return core.ShardedDecomposeCtx(ctx, h, core.ShardedOptions{Shards: *shards})
+		}
+		return core.DecomposeCtx(ctx, h)
+	}
+
 	switch {
 	case *decompose:
-		d, err := core.DecomposeCtx(ctx, h)
+		d, err := decomposeVia()
 		if err != nil {
 			return err
 		}
@@ -89,7 +99,25 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 		return report(stdout, h, r, *pajekPrefix, *quiet)
 	default:
 		_ = max
-		r, err := core.MaxCoreCtx(ctx, h)
+		var r *core.Result
+		if *shards > 0 {
+			d, err := decomposeVia()
+			if err != nil {
+				return err
+			}
+			if d.MaxK == 0 {
+				// Core(0) keeps non-maximal edges; the 0-core is the
+				// reduced hypergraph, so peel it directly.
+				r, err = core.KCoreCtx(ctx, h, 0)
+				if err != nil {
+					return err
+				}
+			} else {
+				r = d.Core(d.MaxK)
+			}
+		} else {
+			r, err = core.MaxCoreCtx(ctx, h)
+		}
 		if err != nil {
 			return err
 		}

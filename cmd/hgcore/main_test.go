@@ -48,6 +48,24 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestRunShardedMatchesSequential(t *testing.T) {
+	for _, mode := range [][]string{
+		{"-max", "-quiet"},
+		{"-decompose"},
+	} {
+		var seq, sharded bytes.Buffer
+		if err := run(mode, strings.NewReader(planted), &seq); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(append([]string{"-shards", "3"}, mode...), strings.NewReader(planted), &sharded); err != nil {
+			t.Fatal(err)
+		}
+		if seq.String() != sharded.String() {
+			t.Errorf("%v: sequential %q vs sharded %q", mode, seq.String(), sharded.String())
+		}
+	}
+}
+
 func TestRunBiCoreFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-k", "2", "-l", "3", "-quiet"}, strings.NewReader(planted), &out); err != nil {

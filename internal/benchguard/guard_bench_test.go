@@ -60,6 +60,20 @@ func BenchmarkGuardKCore(b *testing.B) {
 	}
 }
 
+// BenchmarkGuardShardedDecompose pins the sharded decomposition
+// engine (4 shards) so the round-synchronous peeling path cannot
+// silently regress.
+func BenchmarkGuardShardedDecompose(b *testing.B) {
+	h := guardInstance(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := core.ShardedDecompose(h, core.ShardedOptions{Shards: 4})
+		if d == nil || d.MaxK == 0 {
+			b.Fatal("degenerate decomposition")
+		}
+	}
+}
+
 // BenchmarkGuardGreedyMulticover pins the lazy-heap greedy cover.
 func BenchmarkGuardGreedyMulticover(b *testing.B) {
 	h := guardInstance(b)

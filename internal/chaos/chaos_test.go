@@ -18,6 +18,7 @@ import (
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/mmio"
 	"hyperplex/internal/pajek"
+	"hyperplex/internal/partition"
 	"hyperplex/internal/run"
 	"hyperplex/internal/stats"
 	"hyperplex/internal/xrand"
@@ -93,6 +94,26 @@ func drivers() map[string]func(t *testing.T, ctx context.Context) error {
 			}
 			return err
 		},
+		"core.sharded.worker":   shardedDriver,
+		"core.sharded.exchange": shardedDriver,
+		"partition.build": func(t *testing.T, ctx context.Context) error {
+			p, err := partition.BuildCtx(ctx, bigH, 4)
+			if err == nil {
+				if p.NumShards() != 4 {
+					t.Errorf("successful BuildCtx produced %d shards, want 4", p.NumShards())
+				}
+				owned := 0
+				for _, sh := range p.Shards {
+					owned += len(sh.Vertices)
+				}
+				if owned != bigH.NumVertices() {
+					t.Errorf("successful BuildCtx owns %d of %d vertices", owned, bigH.NumVertices())
+				}
+			} else if p != nil {
+				t.Errorf("BuildCtx returned a partition alongside error %v", err)
+			}
+			return err
+		},
 		"cover.greedy.pop": func(t *testing.T, ctx context.Context) error {
 			c, err := cover.GreedyCtx(ctx, bigH, nil)
 			if err == nil {
@@ -148,6 +169,28 @@ func drivers() map[string]func(t *testing.T, ctx context.Context) error {
 			return err
 		},
 	}
+}
+
+// shardedDriver exercises both sharded engine sites (worker and
+// exchange) through ShardedDecomposeCtx; a successful decomposition
+// must agree with the sequential peeler exactly on vertex coreness.
+func shardedDriver(t *testing.T, ctx context.Context) error {
+	d, err := core.ShardedDecomposeCtx(ctx, bigH, core.ShardedOptions{Shards: 4, Workers: 4})
+	if err == nil {
+		want := core.Decompose(bigH)
+		if d.MaxK != want.MaxK {
+			t.Errorf("successful ShardedDecomposeCtx MaxK = %d, want %d", d.MaxK, want.MaxK)
+		}
+		for v, c := range want.VertexCoreness {
+			if d.VertexCoreness[v] != c {
+				t.Errorf("successful ShardedDecomposeCtx: vertex %d coreness %d, want %d", v, d.VertexCoreness[v], c)
+				break
+			}
+		}
+	} else if d != nil {
+		t.Errorf("ShardedDecomposeCtx returned a result alongside error %v", err)
+	}
+	return err
 }
 
 var errBoom = errors.New("boom")
@@ -338,6 +381,24 @@ func TestChaosErrorArmOverSweep(t *testing.T) {
 			_, err := stats.SmallWorldStatsCtx(ctx, h, 2)
 			return err
 		}},
+		{"core.sharded.worker", func(ctx context.Context, h *hypergraph.Hypergraph) error {
+			d, err := core.ShardedDecomposeCtx(ctx, h, core.ShardedOptions{Shards: 3, Workers: 2})
+			if err == nil {
+				return check.ValidDecomposition(h, d)
+			}
+			return err
+		}},
+		{"core.sharded.exchange", func(ctx context.Context, h *hypergraph.Hypergraph) error {
+			d, err := core.ShardedDecomposeCtx(ctx, h, core.ShardedOptions{Shards: 3, Workers: 2})
+			if err == nil {
+				return check.ValidDecomposition(h, d)
+			}
+			return err
+		}},
+		{"partition.build", func(ctx context.Context, h *hypergraph.Hypergraph) error {
+			_, err := partition.BuildCtx(ctx, h, 3)
+			return err
+		}},
 	}
 	for _, k := range kernels {
 		t.Run(k.site, func(t *testing.T) {
@@ -379,6 +440,36 @@ func TestChaosWorkerPanicDetail(t *testing.T) {
 		t.Fatalf("want *core.WorkerPanicError, got %v", err)
 	}
 	if p, ok := wpe.Value.(failpoint.Panic); !ok || p.Site != "core.parallel.worker" {
+		t.Fatalf("recovered value %v, want the failpoint marker", wpe.Value)
+	}
+	if len(wpe.Stack) == 0 {
+		t.Error("recovered panic carries no stack")
+	}
+	if err := check.CheckNoLeaks(before, 2*time.Second); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChaosShardedWorkerPanicDetail pins the sharded engine's panic
+// boundary the same way: an injected worker panic must come back as a
+// *core.WorkerPanicError carrying the site marker and a stack, with no
+// goroutine leaked.
+func TestChaosShardedWorkerPanicDetail(t *testing.T) {
+	before := check.GoroutineSnapshot()
+	if err := failpoint.Enable("core.sharded.worker", failpoint.Arm{Mode: failpoint.ModePanic}); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable("core.sharded.worker")
+	d, err := core.ShardedDecomposeCtx(context.Background(), bigH, core.ShardedOptions{Shards: 4, Workers: 4})
+	failpoint.Disable("core.sharded.worker")
+	if d != nil {
+		t.Fatalf("got a result alongside the injected panic: %+v", d)
+	}
+	var wpe *core.WorkerPanicError
+	if !errors.As(err, &wpe) {
+		t.Fatalf("want *core.WorkerPanicError, got %v", err)
+	}
+	if p, ok := wpe.Value.(failpoint.Panic); !ok || p.Site != "core.sharded.worker" {
 		t.Fatalf("recovered value %v, want the failpoint marker", wpe.Value)
 	}
 	if len(wpe.Stack) == 0 {

@@ -77,6 +77,74 @@ func TestDifferentialKCoreParallel(t *testing.T) {
 	}
 }
 
+// TestDifferentialShardedDecompose points the differential driver at
+// the sharded engine: for shard counts {1, 2, 3, NumCPU} and a count
+// larger than the vertex count (exercising the clamp), the vertex
+// coreness vector and MaxK must equal Decompose exactly, and every
+// core level must contain the same hyperedge family (the surviving
+// copy of equal-set hyperedges is peeling-order dependent, so levels
+// are compared as member-set families via SameResult, the same
+// convention as the parallel peeler).  Each instance's sharded
+// decomposition is also validated level by level against the
+// independent fixpoint oracle, and no worker goroutine may outlive the
+// calls.
+func TestDifferentialShardedDecompose(t *testing.T) {
+	snapshot := check.GoroutineSnapshot()
+	defer func() {
+		if err := check.CheckNoLeaks(snapshot, 2*time.Second); err != nil {
+			t.Error(err)
+		}
+	}()
+	for i, h := range check.Instances(58, 0xC04E5) {
+		want := core.Decompose(h)
+		shardCounts := []int{1, 2, 3, runtime.NumCPU(), h.NumVertices() + 13}
+		for _, shards := range shardCounts {
+			got := core.ShardedDecompose(h, core.ShardedOptions{Shards: shards})
+			if got.MaxK != want.MaxK {
+				t.Fatalf("instance %d %v, shards=%d: MaxK = %d, want %d", i, h, shards, got.MaxK, want.MaxK)
+			}
+			for v, c := range want.VertexCoreness {
+				if got.VertexCoreness[v] != c {
+					t.Fatalf("instance %d %v, shards=%d: vertex %d coreness %d, want %d",
+						i, h, shards, v, got.VertexCoreness[v], c)
+				}
+			}
+			for k := 1; k <= want.MaxK; k++ {
+				if err := check.SameResult(h, got.Core(k), want.Core(k)); err != nil {
+					t.Fatalf("instance %d %v, shards=%d, k=%d: sharded vs sequential: %v", i, h, shards, k, err)
+				}
+			}
+		}
+		got := core.ShardedDecompose(h, core.ShardedOptions{Shards: 3})
+		if err := check.ValidDecomposition(h, got); err != nil {
+			t.Fatalf("instance %d %v, shards=3: %v", i, h, err)
+		}
+	}
+	h := dataset.Cellzome().H
+	want := core.Decompose(h)
+	for _, shards := range []int{1, 2, 3, runtime.NumCPU(), h.NumVertices() + 13} {
+		got := core.ShardedDecompose(h, core.ShardedOptions{Shards: shards})
+		if got.MaxK != 6 {
+			t.Fatalf("Cellzome shards=%d: MaxK = %d, want 6", shards, got.MaxK)
+		}
+		for v, c := range want.VertexCoreness {
+			if got.VertexCoreness[v] != c {
+				t.Fatalf("Cellzome shards=%d: vertex %d coreness %d, want %d", shards, v, got.VertexCoreness[v], c)
+			}
+		}
+		r6 := got.Core(6)
+		if err := check.SameResult(h, r6, want.Core(6)); err != nil {
+			t.Fatalf("Cellzome shards=%d, 6-core: %v", shards, err)
+		}
+		if err := check.ValidCore(h, 6, r6); err != nil {
+			t.Fatalf("Cellzome shards=%d: %v", shards, err)
+		}
+		if r6.NumVertices != 41 || r6.NumEdges != 54 {
+			t.Fatalf("Cellzome shards=%d: 6-core is %d/%d, want the paper's 41/54", shards, r6.NumVertices, r6.NumEdges)
+		}
+	}
+}
+
 // TestDifferentialBiCore checks the (k, l)-core peeler against the
 // definitional fixpoint oracle.
 func TestDifferentialBiCore(t *testing.T) {

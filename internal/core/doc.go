@@ -17,7 +17,8 @@
 // where |E| is the number of pins and Δ₂,F the maximum number of
 // hyperedges overlapping any single hyperedge.
 //
-// Three implementations are provided:
+// Four implementations are provided, layered over a shared reduction
+// layer (reduce.go) that holds the only copy of the containment test:
 //
 //   - KCore / Decomposition: the sequential overlap-count algorithm.
 //   - KCoreNaive: a fixpoint reference that re-scans for containment
@@ -25,4 +26,8 @@
 //   - KCoreParallel: a round-synchronous peeling algorithm answering
 //     the paper's call ("for large hypergraphs, a parallel algorithm
 //     will need to be designed").
+//   - ShardedDecompose: a BSP decomposition engine over vertex-block
+//     shards from internal/partition, peeling shards in synchronized
+//     rounds with cross-shard deltas exchanged at barriers.  Vertex
+//     coreness and MaxK match Decompose exactly on every input.
 package core

@@ -106,10 +106,10 @@ type peeler struct {
 	eAlive []bool
 	vDeg   []int
 	eDeg   []int
-	// ov[f] maps each hyperedge g overlapping f to the current overlap
-	// |f ∩ g| among alive vertices.  (The paper uses balanced trees for
-	// these sets; Go maps give the same amortized behaviour.)
-	ov []map[int32]int32
+	// ov is the reduction layer's incremental overlap table (reduce.go):
+	// ov[f][g] = |f ∩ g| among alive vertices, maintained across vertex
+	// and hyperedge deletions to detect non-maximal hyperedges.
+	ov overlapTable
 
 	queue   []int32
 	inQueue []bool
@@ -176,7 +176,6 @@ func newPeeler(ctx context.Context, h *hypergraph.Hypergraph) *peeler {
 		eAlive:  make([]bool, ne),
 		vDeg:    make([]int, nv),
 		eDeg:    make([]int, ne),
-		ov:      make([]map[int32]int32, ne),
 		inQueue: make([]bool, nv),
 		vCore:   make([]int, nv),
 		eCore:   make([]int, ne),
@@ -189,47 +188,16 @@ func newPeeler(ctx context.Context, h *hypergraph.Hypergraph) *peeler {
 		p.vAlive[v] = true
 		p.vDeg[v] = h.VertexDegree(v)
 	}
-	// Pre-size the overlap maps with each hyperedge's d₂ (counted with
-	// a stamped scratch pass) so the construction below never rehashes.
-	d2 := make([]int32, ne)
-	stamp := make([]int32, ne)
-	for i := range stamp {
-		stamp[i] = -1
-	}
-	for f := 0; f < ne; f++ {
-		p.checkpoint(1)
-		for _, v := range h.Vertices(f) {
-			for _, g := range h.Edges(int(v)) {
-				if g != int32(f) && stamp[g] != int32(f) {
-					stamp[g] = int32(f)
-					d2[f]++
-				}
-			}
-		}
-	}
 	for f := 0; f < ne; f++ {
 		p.eAlive[f] = true
 		p.eDeg[f] = h.EdgeDegree(f)
-		p.ov[f] = make(map[int32]int32, d2[f])
 	}
-	// Pairwise overlaps in O(Σ_v d(v)²), one pass over vertex
-	// adjacency lists.
-	for v := 0; v < nv; v++ {
-		adj := h.Edges(v)
-		p.checkpoint(1 + len(adj))
-		for i := 0; i < len(adj); i++ {
-			for j := i + 1; j < len(adj); j++ {
-				f, g := adj[i], adj[j]
-				p.ov[f][g]++
-				p.ov[g][f]++
-			}
-		}
-	}
+	p.ov.Fill(h, p.checkpoint)
 	// Initial reduction.  Collect first, then delete, so that the
 	// containment tests all see the original overlap table.
 	var drop []int
 	for f := 0; f < ne; f++ {
-		if p.eDeg[f] == 0 || p.isNonMaximal(f) {
+		if p.eDeg[f] == 0 || p.ov.NonMaximal(f, p.eDeg) {
 			drop = append(drop, f)
 		}
 	}
@@ -237,24 +205,6 @@ func newPeeler(ctx context.Context, h *hypergraph.Hypergraph) *peeler {
 		p.deleteEdge(f)
 	}
 	return p
-}
-
-// isNonMaximal reports whether alive hyperedge f is currently contained
-// in another alive hyperedge: some g with |f ∩ g| = d(f) and either
-// d(g) > d(f) (strict containment) or d(g) = d(f) with g < f (the
-// tie-break that keeps exactly one copy of equal hyperedges).
-func (p *peeler) isNonMaximal(f int) bool {
-	df := int32(p.eDeg[f])
-	for g, cnt := range p.ov[f] {
-		if cnt != df {
-			continue
-		}
-		dg := p.eDeg[g]
-		if dg > p.eDeg[f] || (dg == p.eDeg[f] && int(g) < f) {
-			return true
-		}
-	}
-	return false
 }
 
 // deleteEdge removes alive hyperedge f: its alive members lose one
@@ -279,10 +229,7 @@ func (p *peeler) deleteEdge(f int) {
 			p.queue = append(p.queue, w)
 		}
 	}
-	for g := range p.ov[f] {
-		delete(p.ov[g], int32(f))
-	}
-	p.ov[f] = nil
+	p.ov.DropEdge(f)
 }
 
 // deleteVertex removes alive vertex v.  Phase one removes v from every
@@ -310,25 +257,14 @@ func (p *peeler) deleteVertex(v int) {
 	for _, f := range live {
 		p.eDeg[f]--
 	}
-	for i := 0; i < len(live); i++ {
-		for j := i + 1; j < len(live); j++ {
-			f, g := live[i], live[j]
-			if c := p.ov[f][g] - 1; c == 0 {
-				delete(p.ov[f], g)
-				delete(p.ov[g], f)
-			} else {
-				p.ov[f][g] = c
-				p.ov[g][f] = c
-			}
-		}
-	}
+	p.ov.ShrinkPairwise(live)
 	// Phase 2: a shrunk hyperedge dies when it falls below the minimum
 	// size (empty, for the plain k-core) or stops being maximal.
 	for _, f := range live {
 		if !p.eAlive[f] {
 			continue
 		}
-		if p.eDeg[f] < p.minEdgeSize || p.isNonMaximal(int(f)) {
+		if p.eDeg[f] < p.minEdgeSize || p.ov.NonMaximal(int(f), p.eDeg) {
 			p.deleteEdge(int(f))
 		}
 	}

@@ -172,61 +172,25 @@ func KCoreParallelCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, work
 
 	// checkEdges re-checks the hyperedges listed in cand (all alive)
 	// for emptiness or non-maximality and returns those that must die.
-	// Per-worker stamp/count scratch arrays make the overlap counting
-	// race-free.
-	stamps := make([][]int32, workers)
-	counts := make([][]int32, workers)
-	seqs := make([]int32, workers) // per-worker monotone stamp counters
-	for i := range stamps {
-		stamps[i] = make([]int32, ne) // zero = "never stamped"; marks start at 1
-		counts[i] = make([]int32, ne)
+	// The detection is the reduction layer's snapshot checker
+	// (nonMaxScratch in reduce.go); per-worker scratch instances make
+	// the overlap counting race-free, and the accessors read the atomic
+	// alive state that stays constant within the phase.
+	scratches := make([]*nonMaxScratch, workers)
+	for i := range scratches {
+		scratches[i] = newNonMaxScratch(ne)
 	}
+	vAliveAt := func(v int32) bool { return vAlive[v].Load() }
+	eAliveAt := func(g int32) bool { return eAlive[g].Load() }
+	eDegAt := func(g int32) int32 { return eDeg[g].Load() }
 	checkEdges := func(cand []int32) ([]int32, error) {
 		dead := make([][]int32, workers)
 		err := parallelRange(len(cand), func(lo, hi, worker int) error {
-			stamp, count := stamps[worker], counts[worker]
+			scratch := scratches[worker]
 			for i := lo; i < hi; i++ {
 				f := cand[i]
 				df := eDeg[f].Load()
-				if df == 0 {
-					dead[worker] = append(dead[worker], f)
-					continue
-				}
-				// Count overlaps |f ∩ g| over alive vertices/edges.
-				if seqs[worker] == 1<<31-1 {
-					for j := range stamp {
-						stamp[j] = 0
-					}
-					seqs[worker] = 0
-				}
-				seqs[worker]++
-				mark := seqs[worker] // unique per check within this worker's scratch
-				found := false
-				for _, v := range h.Vertices(int(f)) {
-					if !vAlive[v].Load() {
-						continue
-					}
-					for _, g := range h.Edges(int(v)) {
-						if g == f || !eAlive[g].Load() {
-							continue
-						}
-						if stamp[g] != mark {
-							stamp[g] = mark
-							count[g] = 0
-						}
-						count[g]++
-						if count[g] == df {
-							dg := eDeg[g].Load()
-							if dg > df || (dg == df && g < f) {
-								found = true
-							}
-						}
-					}
-					if found {
-						break
-					}
-				}
-				if found {
+				if df == 0 || scratch.NonMaximal(h, f, df, vAliveAt, eAliveAt, eDegAt) {
 					dead[worker] = append(dead[worker], f)
 				}
 			}

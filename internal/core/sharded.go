@@ -1,0 +1,450 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hyperplex/internal/failpoint"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/partition"
+	"hyperplex/internal/run"
+)
+
+// This file is the package's engine layer: a sharded core
+// decomposition that peels a partitioned hypergraph (internal/
+// partition) in bulk-synchronous rounds.  Each shard owns a vertex
+// block and the hyperedges anchored in it; within a phase a shard
+// writes only its owned state, and updates crossing a shard boundary
+// travel through per-pair outboxes that the owning shard applies after
+// an exchange barrier.  Plain arrays therefore suffice — no atomics —
+// and every phase reads a snapshot that the barriers keep stable.  The
+// rounds are the same round-synchronous schedule as KCoreParallel, so
+// the engine reaches the same confluent fixpoint per level; the
+// non-maximality detection is the reduction layer's snapshot checker
+// (reduce.go).
+
+// fpShardedWorker fires inside every sharded engine worker, so an
+// injected panic exercises the worker recovery boundary.
+var fpShardedWorker = failpoint.Register("core.sharded.worker")
+
+// fpShardedExchange fires at every exchange barrier, where outbox
+// updates become visible to their owning shards.
+var fpShardedExchange = failpoint.Register("core.sharded.exchange")
+
+// ShardedOptions configures the sharded decomposition engine.
+type ShardedOptions struct {
+	// Shards is the number of vertex blocks: ≤ 0 selects
+	// runtime.NumCPU(), and the count is clamped to the vertex count
+	// and to the same cap as the worker policy (the engine's exchange
+	// buffers are quadratic in the shard count).
+	Shards int
+	// Workers is the number of goroutines driving the phases, under
+	// the normalizeWorkers policy (≤ 0 → runtime.NumCPU(), capped).
+	Workers int
+}
+
+// normalizeShardCount applies the documented shard policy of
+// ShardedOptions.Shards.
+func normalizeShardCount(shards, numVertices int) int {
+	shards = partition.NormalizeShards(shards, numVertices)
+	if shards > maxParallelWorkers {
+		shards = maxParallelWorkers
+	}
+	return shards
+}
+
+// ShardedDecompose computes the full core decomposition of h with the
+// sharded peeling engine.  The result is the same decomposition as
+// Decompose: vertex coreness is a confluent fixpoint, and the shared
+// (degree, ID) tie-break keeps the surviving hyperedge families equal
+// level by level.
+func ShardedDecompose(h *hypergraph.Hypergraph, opts ShardedOptions) *Decomposition {
+	d, err := ShardedDecomposeCtx(context.Background(), h, opts)
+	if err != nil {
+		// Only reachable through an armed failpoint: a background
+		// context cannot be cancelled and carries no budget.
+		panic(err)
+	}
+	return d
+}
+
+// ShardedDecomposeCtx is ShardedDecompose honoring cancellation,
+// deadline and any run.Budget attached to ctx, checked inside every
+// phase.  A panic in a worker is recovered at the worker boundary and
+// returned as a *WorkerPanicError — workers never leak and panics
+// never cross goroutines.  On any error it returns (nil, err): the
+// half-peeled state is not a valid decomposition.
+func ShardedDecomposeCtx(ctx context.Context, h *hypergraph.Hypergraph, opts ShardedOptions) (*Decomposition, error) {
+	meter := run.MeterFrom(ctx)
+	// Entry checkpoint: an already-cancelled context fails before the
+	// partition is built.
+	if err := run.Tick(ctx, meter, 0); err != nil {
+		return nil, err
+	}
+	part, err := partition.BuildCtx(ctx, h, normalizeShardCount(opts.Shards, h.NumVertices()))
+	if err != nil {
+		return nil, err
+	}
+	e := newShardedEngine(ctx, h, part, normalizeWorkers(opts.Workers))
+	return e.decompose()
+}
+
+// shardedEngine holds the engine state.  The slices indexed by vertex
+// or hyperedge are written only by the owning shard's phase; the
+// slices indexed by shard are written only by that shard.
+type shardedEngine struct {
+	h    *hypergraph.Hypergraph
+	part *partition.Partition
+	//hyperplexvet:ignore ctxfirst scoped to one ShardedDecomposeCtx call; the phase methods all run under it
+	ctx     context.Context
+	meter   *run.Meter
+	workers int
+	k       int // current peeling threshold
+
+	vAlive, eAlive []bool
+	vDeg, eDeg     []int32
+	vCore, eCore   []int
+	aliveVShard    []int // alive owned vertices per shard
+
+	frontier [][]int32 // per shard: owned vertices below threshold
+	dying    [][]int32 // per shard: owned hyperedges found dead
+	shrunk   [][]int32 // per shard: owned hyperedges shrunk this round
+
+	shrunkStamp []int32 // last round each hyperedge was recorded shrunk
+	round       int32
+
+	// outV[s][t] carries vertex-degree decrements from shard s to
+	// vertex owner t; outE[s][t] hyperedge-degree decrements to edge
+	// owner t.  One entry is one decrement; buffers are reused.
+	outV, outE [][][]int32
+
+	scratches []*nonMaxScratch // one per worker
+	vAliveAt  func(int32) bool
+	eAliveAt  func(int32) bool
+	eDegAt    func(int32) int32
+}
+
+func newShardedEngine(ctx context.Context, h *hypergraph.Hypergraph, part *partition.Partition, workers int) *shardedEngine {
+	nv, ne := h.NumVertices(), h.NumEdges()
+	ns := part.NumShards()
+	e := &shardedEngine{
+		h:           h,
+		part:        part,
+		ctx:         ctx,
+		meter:       run.MeterFrom(ctx),
+		workers:     workers,
+		vAlive:      make([]bool, nv),
+		eAlive:      make([]bool, ne),
+		vDeg:        make([]int32, nv),
+		eDeg:        make([]int32, ne),
+		vCore:       make([]int, nv),
+		eCore:       make([]int, ne),
+		aliveVShard: make([]int, ns),
+		frontier:    make([][]int32, ns),
+		dying:       make([][]int32, ns),
+		shrunk:      make([][]int32, ns),
+		shrunkStamp: make([]int32, ne),
+		outV:        make([][][]int32, ns),
+		outE:        make([][][]int32, ns),
+		scratches:   make([]*nonMaxScratch, workers),
+	}
+	for v := 0; v < nv; v++ {
+		e.vAlive[v] = true
+		e.vDeg[v] = int32(h.VertexDegree(v))
+	}
+	for f := 0; f < ne; f++ {
+		e.eAlive[f] = true
+		e.eDeg[f] = int32(h.EdgeDegree(f))
+		e.shrunkStamp[f] = -1
+	}
+	for s := range e.outV {
+		e.aliveVShard[s] = len(part.Shards[s].Vertices)
+		e.outV[s] = make([][]int32, ns)
+		e.outE[s] = make([][]int32, ns)
+	}
+	for i := range e.scratches {
+		e.scratches[i] = newNonMaxScratch(ne)
+	}
+	e.vAliveAt = func(v int32) bool { return e.vAlive[v] }
+	e.eAliveAt = func(g int32) bool { return e.eAlive[g] }
+	e.eDegAt = func(g int32) int32 { return e.eDeg[g] }
+	return e
+}
+
+// forEachShard runs fn(s, worker) over every shard, split across the
+// engine's workers.  A worker panic is recovered at the goroutine
+// boundary (first one wins) and returned as a *WorkerPanicError; fn's
+// own error return aborts likewise.
+func (e *shardedEngine) forEachShard(fn func(s, worker int) error) error {
+	ns := e.part.NumShards()
+	w := e.workers
+	if w > ns {
+		w = ns
+	}
+	var panicErr atomic.Pointer[WorkerPanicError]
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	chunk := (ns + w - 1) / w
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > ns {
+			hi = ns
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi, worker int) {
+			defer wg.Done()
+			defer func() {
+				if x := recover(); x != nil {
+					stack := make([]byte, 16<<10)
+					stack = stack[:runtime.Stack(stack, false)]
+					panicErr.CompareAndSwap(nil, &WorkerPanicError{Value: x, Stack: stack})
+				}
+			}()
+			if err := failpoint.Inject(fpShardedWorker); err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+				return
+			}
+			for s := lo; s < hi; s++ {
+				if err := fn(s, worker); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}(lo, hi, i)
+	}
+	wg.Wait()
+	if pe := panicErr.Load(); pe != nil {
+		return pe
+	}
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}
+
+// exchange is the barrier at which outbox updates become visible to
+// their owning shards; the failpoint makes the hand-off injectable.
+func (e *shardedEngine) exchange() error {
+	if err := failpoint.Inject(fpShardedExchange); err != nil {
+		return fmt.Errorf("core: sharded exchange: %w", err)
+	}
+	return nil
+}
+
+// clampCore is the shared coreness assignment: state retired while
+// peeling toward threshold k belonged to the (k-1)-core.
+func (e *shardedEngine) clampCore() int {
+	if e.k < 1 {
+		return 0
+	}
+	return e.k - 1
+}
+
+// applyDying retires shard s's dying hyperedges and decrements the
+// degrees of their alive members — owned directly, foreign through the
+// vertex outboxes.
+func (e *shardedEngine) applyDying(s, _ int) error {
+	list := e.dying[s]
+	if err := run.Tick(e.ctx, e.meter, int64(len(list))+1); err != nil {
+		return err
+	}
+	for _, f := range list {
+		e.eAlive[f] = false
+		e.eCore[f] = e.clampCore()
+		for _, v := range e.h.Vertices(int(f)) {
+			if !e.vAlive[v] {
+				continue
+			}
+			if t := e.part.VertexOwner[v]; int(t) == s {
+				e.vDeg[v]--
+			} else {
+				e.outV[s][t] = append(e.outV[s][t], v)
+			}
+		}
+	}
+	return nil
+}
+
+// drainAndGather applies shard s's vertex inbox and gathers its
+// frontier: owned alive vertices whose degree fell below the
+// threshold.
+func (e *shardedEngine) drainAndGather(s, _ int) error {
+	owned := e.part.Shards[s].Vertices
+	n := len(owned)
+	for src := range e.outV {
+		n += len(e.outV[src][s])
+	}
+	if err := run.Tick(e.ctx, e.meter, int64(n)+1); err != nil {
+		return err
+	}
+	for src := range e.outV {
+		buf := e.outV[src][s]
+		for _, v := range buf {
+			e.vDeg[v]--
+		}
+		e.outV[src][s] = buf[:0]
+	}
+	e.frontier[s] = e.frontier[s][:0]
+	for _, v := range owned {
+		if e.vAlive[v] && e.vDeg[v] < int32(e.k) {
+			e.frontier[s] = append(e.frontier[s], v)
+		}
+	}
+	return nil
+}
+
+// retireAndShrink retires shard s's frontier vertices and shrinks
+// their alive hyperedges — owned directly (recording them for the
+// re-check), foreign through the hyperedge outboxes.
+func (e *shardedEngine) retireAndShrink(s, _ int) error {
+	list := e.frontier[s]
+	if err := run.Tick(e.ctx, e.meter, int64(len(list))+1); err != nil {
+		return err
+	}
+	e.shrunk[s] = e.shrunk[s][:0]
+	for _, v := range list {
+		e.vAlive[v] = false
+		e.vCore[v] = e.clampCore()
+		e.aliveVShard[s]--
+		for _, f := range e.h.Edges(int(v)) {
+			if !e.eAlive[f] {
+				continue
+			}
+			if t := e.part.EdgeOwner[f]; int(t) == s {
+				e.eDeg[f]--
+				if e.shrunkStamp[f] != e.round {
+					e.shrunkStamp[f] = e.round
+					e.shrunk[s] = append(e.shrunk[s], f)
+				}
+			} else {
+				e.outE[s][t] = append(e.outE[s][t], f)
+			}
+		}
+	}
+	return nil
+}
+
+// drainEdges applies shard s's hyperedge inbox.  It runs as its own
+// phase: the re-check that follows reads the degrees of other shards'
+// hyperedges, so every inbox must be fully applied — barrier between —
+// before any shard starts checking.
+func (e *shardedEngine) drainEdges(s, _ int) error {
+	n := 0
+	for src := range e.outE {
+		n += len(e.outE[src][s])
+	}
+	if err := run.Tick(e.ctx, e.meter, int64(n)+1); err != nil {
+		return err
+	}
+	for src := range e.outE {
+		buf := e.outE[src][s]
+		for _, f := range buf {
+			e.eDeg[f]--
+			if e.shrunkStamp[f] != e.round {
+				e.shrunkStamp[f] = e.round
+				e.shrunk[s] = append(e.shrunk[s], f)
+			}
+		}
+		e.outE[src][s] = buf[:0]
+	}
+	return nil
+}
+
+// checkShrunk re-checks every owned hyperedge that shrank this round
+// for emptiness or non-maximality, refilling the shard's dying list.
+func (e *shardedEngine) checkShrunk(s, worker int) error {
+	return e.checkShard(s, worker, e.shrunk[s])
+}
+
+// checkShard refills shard s's dying list with the candidates that
+// are empty or non-maximal against the current stable snapshot.
+func (e *shardedEngine) checkShard(s, worker int, cand []int32) error {
+	if err := run.Tick(e.ctx, e.meter, int64(len(cand))+1); err != nil {
+		return err
+	}
+	scratch := e.scratches[worker]
+	e.dying[s] = e.dying[s][:0]
+	for _, f := range cand {
+		df := e.eDeg[f]
+		if df == 0 || scratch.NonMaximal(e.h, f, df, e.vAliveAt, e.eAliveAt, e.eDegAt) {
+			e.dying[s] = append(e.dying[s], f)
+		}
+	}
+	return nil
+}
+
+// decompose runs the level loop: like Decompose, it raises the
+// threshold one level at a time, carrying all peeling state across
+// levels, but peels each level in bulk-synchronous rounds.
+func (e *shardedEngine) decompose() (*Decomposition, error) {
+	// Round 0: the initial reduction checks every hyperedge.
+	err := e.forEachShard(func(s, worker int) error {
+		return e.checkShard(s, worker, e.part.Shards[s].Edges)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	aliveV := 0
+	for _, n := range e.aliveVShard {
+		aliveV += n
+	}
+	maxK := 0
+	for k := 1; aliveV > 0; k++ {
+		e.k = k
+		for {
+			dyingTotal := 0
+			for _, d := range e.dying {
+				dyingTotal += len(d)
+			}
+			if err := e.forEachShard(e.applyDying); err != nil {
+				return nil, err
+			}
+			if err := e.exchange(); err != nil {
+				return nil, err
+			}
+			if err := e.forEachShard(e.drainAndGather); err != nil {
+				return nil, err
+			}
+			frontierTotal := 0
+			for _, fr := range e.frontier {
+				frontierTotal += len(fr)
+			}
+			if frontierTotal == 0 && dyingTotal == 0 {
+				break // level fixpoint: every alive vertex has degree ≥ k
+			}
+			e.round++
+			if err := e.forEachShard(e.retireAndShrink); err != nil {
+				return nil, err
+			}
+			if err := e.exchange(); err != nil {
+				return nil, err
+			}
+			if err := e.forEachShard(e.drainEdges); err != nil {
+				return nil, err
+			}
+			if err := e.forEachShard(e.checkShrunk); err != nil {
+				return nil, err
+			}
+		}
+		aliveV = 0
+		for _, n := range e.aliveVShard {
+			aliveV += n
+		}
+		if aliveV > 0 {
+			maxK = k
+		}
+	}
+	return &Decomposition{
+		VertexCoreness: e.vCore,
+		EdgeCoreness:   e.eCore,
+		MaxK:           maxK,
+	}, nil
+}

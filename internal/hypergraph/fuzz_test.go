@@ -11,9 +11,15 @@ import (
 	"unicode/utf8"
 
 	"hyperplex/internal/check"
+	"hyperplex/internal/core"
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/run"
 )
+
+// fuzzCorePins caps the size of parsed hypergraphs that get the full
+// sequential-vs-sharded decomposition cross-check, so the fuzzer's
+// throughput stays dominated by the parser, not the peeler.
+const fuzzCorePins = 400
 
 // FuzzReadText feeds arbitrary bytes to the text parser and, for every
 // input it accepts, requires the parsed hypergraph to be structurally
@@ -30,6 +36,12 @@ func FuzzReadText(f *testing.F) {
 	// Long inputs reach the reader's periodic cancellation checkpoint
 	// (every 256 lines), not just the entry check.
 	f.Add(strings.Repeat("e: a b\n", 300))
+	// Partition-hostile shapes for the sharded cross-check below: one
+	// giant hyperedge spanning every shard, and duplicate-set edges
+	// whose members straddle a shard boundary (the equal-set tie-break
+	// must agree across schedules).
+	f.Add("giant: a b c d e f g h i j k l m n o p\nleft: a b\nright: o p\n")
+	f.Add("d1: h i\nd2: i h\ne1: a b c\ne2: f g h\ne3: c d e\n")
 	f.Fuzz(func(t *testing.T, data string) {
 		// Robustness: a pre-cancelled context surfaces context.Canceled
 		// for every input — never a partial parse, never a different
@@ -67,6 +79,27 @@ func FuzzReadText(f *testing.F) {
 		case errors.Is(berr, run.ErrBudgetExceeded):
 		default:
 			t.Fatalf("budgeted ReadTextCtx of %q: got %v, want success or ErrBudgetExceeded", data, berr)
+		}
+		// Sequential and sharded core decomposition are differentially
+		// equivalent on every accepted input: identical vertex coreness
+		// and identical per-level edge families (surviving-duplicate IDs
+		// may differ, so families are compared, not raw edge coreness).
+		if h.NumPins() <= fuzzCorePins {
+			want := core.Decompose(h)
+			got := core.ShardedDecompose(h, core.ShardedOptions{Shards: 3})
+			if got.MaxK != want.MaxK {
+				t.Fatalf("sharded MaxK of %q: got %d, want %d", data, got.MaxK, want.MaxK)
+			}
+			for v, c := range want.VertexCoreness {
+				if got.VertexCoreness[v] != c {
+					t.Fatalf("sharded coreness of %q: vertex %d got %d, want %d", data, v, got.VertexCoreness[v], c)
+				}
+			}
+			for k := 1; k <= want.MaxK; k++ {
+				if err := check.SameResult(h, got.Core(k), want.Core(k)); err != nil {
+					t.Fatalf("sharded %d-core of %q: %v", k, data, err)
+				}
+			}
 		}
 		// JSON keys collapse duplicate edge names and encoding/json
 		// replaces invalid UTF-8 with U+FFFD, so the JSON round trip is

@@ -1,0 +1,202 @@
+// Package partition splits a hypergraph into contiguous vertex-block
+// shards for the sharded peeling engine (internal/core, sharded.go).
+// Each shard owns a block of vertices and the hyperedges anchored in
+// it; hyperedges whose members span several blocks are tracked as cut
+// edges, and the non-owned vertices reachable through owned hyperedges
+// form the shard's frontier.  Blocks are balanced by pin weight
+// (1 + d(v) per vertex), so a shard's share of the incidence structure
+// — not just its vertex count — is even.
+package partition
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"hyperplex/internal/failpoint"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/run"
+)
+
+// fpBuild fires at the start of every partition build, so chaos tests
+// can fail or stall the construction before any shard exists.
+var fpBuild = failpoint.Register("partition.build")
+
+// buildCheckEvery bounds the work between two cancellation/budget
+// checkpoints during a build.
+const buildCheckEvery = 64
+
+// Shard is one block of a Partition.  All IDs are the original
+// hypergraph's; the old↔new maps of a materialized sub-hypergraph come
+// from Materialize.
+type Shard struct {
+	Index    int
+	Vertices []int32 // owned vertices (ascending: a contiguous block)
+	Edges    []int32 // owned hyperedges (anchored at their first member)
+	Frontier []int32 // non-owned vertices appearing in owned hyperedges
+	Cut      []int32 // owned hyperedges with members outside the block
+	Pins     int     // Σ d(f) over owned hyperedges
+}
+
+// Partition is a disjoint cover of a hypergraph's vertices and
+// hyperedges by shards.  Every vertex has exactly one owner; every
+// hyperedge is owned by the shard of its first (lowest-ID) member, so
+// edge ownership follows vertex ownership deterministically.
+type Partition struct {
+	H           *hypergraph.Hypergraph
+	VertexOwner []int32 // shard index per vertex
+	EdgeOwner   []int32 // shard index per hyperedge (empty edges → shard 0)
+	Shards      []Shard
+	CutEdges    []int32 // all hyperedges spanning more than one shard
+}
+
+// NumShards returns the number of shards.
+func (p *Partition) NumShards() int { return len(p.Shards) }
+
+// NormalizeShards applies the shared shard-count policy: requests ≤ 0
+// select runtime.NumCPU(), and the count is clamped to the vertex
+// count (at least one shard even for an empty hypergraph).
+func NormalizeShards(shards, numVertices int) int {
+	if shards <= 0 {
+		shards = runtime.NumCPU()
+	}
+	if shards > numVertices {
+		shards = numVertices
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// Build partitions h into the requested number of shards (normalized
+// by NormalizeShards).
+func Build(h *hypergraph.Hypergraph, shards int) *Partition {
+	p, err := BuildCtx(context.Background(), h, shards)
+	if err != nil {
+		// Only reachable through an armed failpoint: the background
+		// context cannot be cancelled and carries no budget.
+		panic(err)
+	}
+	return p
+}
+
+// BuildCtx is Build honoring cancellation, deadline and any run.Budget
+// attached to ctx, checked at bounded intervals throughout the
+// construction.  On any error it returns (nil, err).
+func BuildCtx(ctx context.Context, h *hypergraph.Hypergraph, shards int) (*Partition, error) {
+	meter := run.MeterFrom(ctx)
+	// Entry checkpoint: an already-cancelled context fails before any
+	// work, even on inputs too small to reach a periodic checkpoint.
+	if err := run.Tick(ctx, meter, 0); err != nil {
+		return nil, err
+	}
+	if err := failpoint.Inject(fpBuild); err != nil {
+		return nil, fmt.Errorf("partition: build: %w", err)
+	}
+	nv, ne := h.NumVertices(), h.NumEdges()
+	shards = NormalizeShards(shards, nv)
+
+	p := &Partition{
+		H:           h,
+		VertexOwner: make([]int32, nv),
+		EdgeOwner:   make([]int32, ne),
+		Shards:      make([]Shard, shards),
+	}
+	for s := range p.Shards {
+		p.Shards[s].Index = s
+	}
+
+	// Assign contiguous vertex blocks greedily by pin weight.  Closing
+	// a block when the remaining vertices exactly match the remaining
+	// shards guarantees every shard owns at least one vertex (shards ≤
+	// nv after normalization keeps that reachable).
+	target := (nv + h.NumPins() + shards - 1) / shards
+	s, acc := 0, 0
+	for v := 0; v < nv; v++ {
+		if v%buildCheckEvery == 0 {
+			if err := run.Tick(ctx, meter, buildCheckEvery); err != nil {
+				return nil, err
+			}
+		}
+		p.VertexOwner[v] = int32(s)
+		p.Shards[s].Vertices = append(p.Shards[s].Vertices, int32(v))
+		acc += 1 + h.VertexDegree(v)
+		if rem := shards - s - 1; rem > 0 && (acc >= target || nv-v-1 == rem) {
+			s++
+			acc = 0
+		}
+	}
+
+	// Anchor each hyperedge at its first member and record cut edges.
+	for f := 0; f < ne; f++ {
+		if f%buildCheckEvery == 0 {
+			if err := run.Tick(ctx, meter, buildCheckEvery); err != nil {
+				return nil, err
+			}
+		}
+		members := h.Vertices(f)
+		owner := int32(0)
+		if len(members) > 0 {
+			owner = p.VertexOwner[members[0]]
+		}
+		p.EdgeOwner[f] = owner
+		sh := &p.Shards[owner]
+		sh.Edges = append(sh.Edges, int32(f))
+		sh.Pins += len(members)
+		for _, v := range members {
+			if p.VertexOwner[v] != owner {
+				sh.Cut = append(sh.Cut, int32(f))
+				p.CutEdges = append(p.CutEdges, int32(f))
+				break
+			}
+		}
+	}
+
+	// Collect each shard's frontier from its cut edges.  One shard is
+	// fully processed before the next, so frontierMark[v] — the last
+	// shard that recorded v — deduplicates within a shard while still
+	// letting v appear on several shards' frontiers.
+	frontierMark := make([]int32, nv)
+	for v := range frontierMark {
+		frontierMark[v] = -1
+	}
+	for s := range p.Shards {
+		sh := &p.Shards[s]
+		for i, f := range sh.Cut {
+			if i%buildCheckEvery == 0 {
+				if err := run.Tick(ctx, meter, buildCheckEvery); err != nil {
+					return nil, err
+				}
+			}
+			for _, v := range h.Vertices(int(f)) {
+				if p.VertexOwner[v] != int32(s) && frontierMark[v] != int32(s) {
+					frontierMark[v] = int32(s)
+					sh.Frontier = append(sh.Frontier, v)
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// Materialize builds the standalone sub-hypergraph of shard s: its
+// owned hyperedges restricted to nothing (owned and frontier vertices
+// are all kept, so owned hyperedges survive intact).  The returned
+// maps give old-ID → new-ID for vertices and hyperedges, as
+// hypergraph.Sub defines them.
+func (p *Partition) Materialize(s int) (*hypergraph.Hypergraph, map[int]int, map[int]int) {
+	sh := &p.Shards[s]
+	keepV := make([]bool, p.H.NumVertices())
+	for _, v := range sh.Vertices {
+		keepV[v] = true
+	}
+	for _, v := range sh.Frontier {
+		keepV[v] = true
+	}
+	keepF := make([]bool, p.H.NumEdges())
+	for _, f := range sh.Edges {
+		keepF[f] = true
+	}
+	return p.H.Sub(keepV, keepF)
+}

@@ -1,0 +1,214 @@
+package partition_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+
+	"hyperplex/internal/gen"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/partition"
+	"hyperplex/internal/run"
+	"hyperplex/internal/xrand"
+)
+
+func instances(t *testing.T) []*hypergraph.Hypergraph {
+	t.Helper()
+	giant, err := hypergraph.FromEdgeSets(12, [][]int32{
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, // spans every block
+		{0, 1}, {5, 6}, {10, 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := []*hypergraph.Hypergraph{giant}
+	rng := xrand.New(0x9A57)
+	for i := 0; i < 8; i++ {
+		out = append(out, gen.RandomHypergraph(5+rng.Intn(60), 1+rng.Intn(40), 1+rng.Intn(7), rng))
+	}
+	return out
+}
+
+// validate checks the partition invariants: disjoint contiguous vertex
+// blocks covering V, edge ownership anchored at the first member,
+// consistent cut/frontier sets, and pin accounting.
+func validate(t *testing.T, h *hypergraph.Hypergraph, p *partition.Partition) {
+	t.Helper()
+	nv, ne := h.NumVertices(), h.NumEdges()
+	seenV := make([]bool, nv)
+	for s, sh := range p.Shards {
+		if sh.Index != s {
+			t.Fatalf("shard %d has Index %d", s, sh.Index)
+		}
+		if len(sh.Vertices) == 0 && nv > 0 {
+			t.Fatalf("shard %d owns no vertices", s)
+		}
+		for i, v := range sh.Vertices {
+			if seenV[v] {
+				t.Fatalf("vertex %d owned twice", v)
+			}
+			seenV[v] = true
+			if p.VertexOwner[v] != int32(s) {
+				t.Fatalf("vertex %d: owner %d, listed in shard %d", v, p.VertexOwner[v], s)
+			}
+			if i > 0 && v != sh.Vertices[i-1]+1 {
+				t.Fatalf("shard %d vertex block not contiguous: %v", s, sh.Vertices)
+			}
+		}
+	}
+	for v := 0; v < nv; v++ {
+		if !seenV[v] {
+			t.Fatalf("vertex %d unowned", v)
+		}
+	}
+	seenF := make([]bool, ne)
+	var cut int
+	for s, sh := range p.Shards {
+		pins := 0
+		cutSet := make(map[int32]bool, len(sh.Cut))
+		for _, f := range sh.Cut {
+			cutSet[f] = true
+		}
+		frontier := make(map[int32]bool, len(sh.Frontier))
+		for _, v := range sh.Frontier {
+			if p.VertexOwner[v] == int32(s) {
+				t.Fatalf("shard %d frontier contains owned vertex %d", s, v)
+			}
+			if frontier[v] {
+				t.Fatalf("shard %d frontier lists vertex %d twice", s, v)
+			}
+			frontier[v] = true
+		}
+		for _, f := range sh.Edges {
+			if seenF[f] {
+				t.Fatalf("hyperedge %d owned twice", f)
+			}
+			seenF[f] = true
+			if p.EdgeOwner[f] != int32(s) {
+				t.Fatalf("hyperedge %d: owner %d, listed in shard %d", f, p.EdgeOwner[f], s)
+			}
+			members := h.Vertices(int(f))
+			pins += len(members)
+			if len(members) > 0 && p.VertexOwner[members[0]] != int32(s) {
+				t.Fatalf("hyperedge %d not anchored at first member", f)
+			}
+			isCut := false
+			for _, v := range members {
+				if p.VertexOwner[v] != int32(s) {
+					isCut = true
+					if !frontier[v] {
+						t.Fatalf("shard %d: vertex %d of cut edge %d missing from frontier", s, v, f)
+					}
+				}
+			}
+			if isCut != cutSet[f] {
+				t.Fatalf("hyperedge %d: cut=%t but Cut set says %t", f, isCut, cutSet[f])
+			}
+		}
+		if pins != sh.Pins {
+			t.Fatalf("shard %d: Pins=%d, recount %d", s, sh.Pins, pins)
+		}
+		cut += len(sh.Cut)
+	}
+	for f := 0; f < ne; f++ {
+		if !seenF[f] {
+			t.Fatalf("hyperedge %d unowned", f)
+		}
+	}
+	if cut != len(p.CutEdges) {
+		t.Fatalf("CutEdges has %d entries, shards list %d", len(p.CutEdges), cut)
+	}
+}
+
+func TestBuildInvariants(t *testing.T) {
+	for i, h := range instances(t) {
+		for _, shards := range []int{1, 2, 3, 5, runtime.NumCPU(), h.NumVertices() + 7} {
+			p := partition.Build(h, shards)
+			want := partition.NormalizeShards(shards, h.NumVertices())
+			if p.NumShards() != want {
+				t.Fatalf("instance %d %v shards=%d: got %d shards, want %d", i, h, shards, p.NumShards(), want)
+			}
+			validate(t, h, p)
+		}
+	}
+}
+
+func TestNormalizeShards(t *testing.T) {
+	cases := []struct{ shards, nv, want int }{
+		{0, 100, runtime.NumCPU()},
+		{-3, 100, runtime.NumCPU()},
+		{4, 100, 4},
+		{7, 3, 3},
+		{5, 0, 1},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		if c.nv < c.want { // NumCPU may exceed tiny nv
+			c.want = c.nv
+		}
+		if got := partition.NormalizeShards(c.shards, c.nv); got != c.want && !(c.nv == 0 && got == 1) {
+			t.Errorf("NormalizeShards(%d, %d) = %d, want %d", c.shards, c.nv, got, c.want)
+		}
+	}
+}
+
+// TestMaterialize checks that each shard's materialized sub-hypergraph
+// carries the owned hyperedges intact (frontier vertices kept).
+func TestMaterialize(t *testing.T) {
+	for i, h := range instances(t) {
+		p := partition.Build(h, 3)
+		for s := range p.Shards {
+			sub, vMap, fMap := p.Materialize(s)
+			if sub.NumEdges() != len(p.Shards[s].Edges) {
+				t.Fatalf("instance %d shard %d: %d hyperedges materialized, own %d",
+					i, s, sub.NumEdges(), len(p.Shards[s].Edges))
+			}
+			for _, f := range p.Shards[s].Edges {
+				nf, ok := fMap[int(f)]
+				if !ok {
+					t.Fatalf("instance %d shard %d: hyperedge %d not in fMap", i, s, f)
+				}
+				if sub.EdgeDegree(nf) != h.EdgeDegree(int(f)) {
+					t.Fatalf("instance %d shard %d: hyperedge %d lost members (%d → %d)",
+						i, s, f, h.EdgeDegree(int(f)), sub.EdgeDegree(nf))
+				}
+				for _, v := range h.Vertices(int(f)) {
+					if _, ok := vMap[int(v)]; !ok {
+						t.Fatalf("instance %d shard %d: member vertex %d of %d dropped", i, s, v, f)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildEmptyHypergraph(t *testing.T) {
+	h, err := hypergraph.FromEdgeSets(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := partition.Build(h, 4)
+	if p.NumShards() != 1 {
+		t.Fatalf("empty hypergraph: %d shards, want 1", p.NumShards())
+	}
+	validate(t, h, p)
+}
+
+func TestBuildCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := gen.RandomHypergraph(50, 30, 4, xrand.New(1))
+	if _, err := partition.BuildCtx(ctx, h, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled build: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBuildCtxBudget(t *testing.T) {
+	h := gen.RandomHypergraph(500, 300, 5, xrand.New(2))
+	ctx, m := run.WithBudget(context.Background(), run.Budget{MaxSteps: 1})
+	_ = m
+	if _, err := partition.BuildCtx(ctx, h, 4); !errors.Is(err, run.ErrBudgetExceeded) {
+		t.Fatalf("budgeted build: err = %v, want ErrBudgetExceeded", err)
+	}
+}
