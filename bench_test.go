@@ -235,16 +235,51 @@ func BenchmarkExtParallelCore(b *testing.B) {
 	}
 }
 
-// BenchmarkShardedDecompose measures the sharded decomposition engine
-// against the sequential peeler on a banded hypergraph, across shard
-// counts.
-func BenchmarkShardedDecompose(b *testing.B) {
+// bandedBench builds the shared 8000×8000 banded instance used by the
+// decomposition benchmarks.
+func bandedBench(b *testing.B) *hypergraph.Hypergraph {
+	b.Helper()
 	spec := gen.MatrixSpec{Name: "bench", Rows: 8000, Cols: 8000, Band: 10, BandFill: 0.7, RandomPerRow: 2, Seed: 0xBE}
 	m := gen.SyntheticMatrix(spec)
 	h, err := mmio.ToHypergraph(m)
 	if err != nil {
 		b.Fatal(err)
 	}
+	return h
+}
+
+// BenchmarkDecompose measures the map-based level-by-level sequential
+// decomposition — the pre-CSR hot path, kept as the semantic reference.
+func BenchmarkDecompose(b *testing.B) {
+	h := bandedBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := core.Decompose(h); d.MaxK == 0 {
+			b.Fatal("degenerate decomposition")
+		}
+	}
+}
+
+// BenchmarkCSRDecompose measures the flat-array bucket-queue kernel on
+// the same instance as BenchmarkDecompose, so the two are directly
+// comparable (BENCH_PR6.json records the trajectory).
+func BenchmarkCSRDecompose(b *testing.B) {
+	h := bandedBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := core.CSRDecompose(h); d.MaxK == 0 {
+			b.Fatal("degenerate decomposition")
+		}
+	}
+}
+
+// BenchmarkShardedDecompose measures the sharded decomposition engine
+// against the sequential peeler on a banded hypergraph, across shard
+// counts.
+func BenchmarkShardedDecompose(b *testing.B) {
+	h := bandedBench(b)
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			core.Decompose(h)

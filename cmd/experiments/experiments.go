@@ -21,15 +21,23 @@ import (
 )
 
 // maxCoreVia computes the maximum core with the engine selected by
-// -shards: the sequential peeler by default, or the sharded
-// decomposition engine (both produce the same cores; the golden test
-// pins that on the paper numbers).
+// -shards and -csr: the sharded decomposition engine when -shards is
+// set, otherwise the flat-array CSR kernel unless -csr=false, else the
+// sequential map-based peeler (all produce the same cores; the golden
+// test pins that on the paper numbers).
 func maxCoreVia(h *hypergraph.Hypergraph, o options) *core.Result {
-	if o.shards <= 0 {
+	var d *core.Decomposition
+	switch {
+	case o.shards > 0:
+		d = core.ShardedDecompose(h, core.ShardedOptions{Shards: o.shards})
+	case o.csr:
+		d = core.CSRDecompose(h)
+	default:
 		return core.MaxCore(h)
 	}
-	d := core.ShardedDecompose(h, core.ShardedOptions{Shards: o.shards})
 	if d.MaxK == 0 {
+		// Core(0) keeps non-maximal edges; the 0-core is the reduced
+		// hypergraph, so peel it directly.
 		return core.KCore(h, 0)
 	}
 	return d.Core(d.MaxK)

@@ -25,7 +25,7 @@ func TestAllExperimentsShort(t *testing.T) {
 		"X6": {"clique-expansion PPI graph", "hypergraph 6-core hyperedges"},
 		"X7": {"projected-cover baits", "random baits"},
 	}
-	o := options{short: true, outDir: t.TempDir(), trials: 5}
+	o := options{short: true, outDir: t.TempDir(), trials: 5, csr: true}
 	for _, e := range allExperiments {
 		e := e
 		t.Run(e.id, func(t *testing.T) {

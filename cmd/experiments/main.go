@@ -27,6 +27,7 @@ func main() {
 	outDir := flag.String("out", ".", "directory for generated artifacts (fig3.net, fig3.clu)")
 	trials := flag.Int("trials", 100, "TAP simulation trials for X1")
 	shards := flag.Int("shards", 0, "compute maximum cores with the sharded engine on this many shards (0 = sequential peeler)")
+	csr := flag.Bool("csr", true, "compute maximum cores with the flat-array CSR kernel (-csr=false keeps the map-based peeler)")
 	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this duration (0 = no limit)")
 	flag.Parse()
 	ctx, cancel := cli.WithTimeout(context.Background(), *timeout)
@@ -43,7 +44,7 @@ func main() {
 		}
 	}
 
-	opts := options{short: *short, outDir: *outDir, trials: *trials, shards: *shards}
+	opts := options{short: *short, outDir: *outDir, trials: *trials, shards: *shards, csr: *csr}
 	if *short && *trials > 20 {
 		opts.trials = 20
 	}
@@ -86,6 +87,9 @@ type options struct {
 	// shards > 0 routes maximum-core computations through the sharded
 	// decomposition engine; 0 keeps the sequential peeler.
 	shards int
+	// csr routes maximum-core computations through the flat-array CSR
+	// kernel when no sharded engine was requested.
+	csr bool
 }
 
 type experiment struct {

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	hgcore [-k N | -max | -decompose] [-l N] [-mtx] [-parallel N] [-shards N] [-pajek PREFIX] [file]
+//	hgcore [-k N | -max | -decompose] [-l N] [-mtx] [-csr] [-parallel N] [-shards N] [-pajek PREFIX] [file]
 //
 // With -k it prints the members of the k-core (or the (k, l)-core with
 // -l); with -max (default) the maximum core; with -decompose the
@@ -44,6 +44,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	mtx := fs.Bool("mtx", false, "input is a Matrix Market file")
 	parallel := fs.Int("parallel", 0, "use the parallel algorithm with this many workers (0 = sequential)")
 	shards := fs.Int("shards", 0, "use the sharded decomposition engine with this many shards (0 = sequential)")
+	csr := fs.Bool("csr", true, "route -max and -decompose through the flat-array CSR kernel (-csr=false keeps the map-based peeler)")
 	pajekPrefix := fs.String("pajek", "", "write PREFIX.net and PREFIX.clu with the core highlighted")
 	quiet := fs.Bool("quiet", false, "suppress the member listing")
 	timeout := fs.Duration("timeout", 0, "abort if reading plus peeling exceed this duration (0 = no limit)")
@@ -59,12 +60,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	}
 
 	// decomposeVia routes through the sharded engine when -shards is
-	// set; both paths produce identical vertex coreness.
+	// set, otherwise through the CSR kernel unless -csr=false; all
+	// three paths produce identical vertex coreness.
 	decomposeVia := func() (*core.Decomposition, error) {
-		if *shards > 0 {
+		switch {
+		case *shards > 0:
 			return core.ShardedDecomposeCtx(ctx, h, core.ShardedOptions{Shards: *shards})
+		case *csr:
+			return core.CSRDecomposeCtx(ctx, h)
+		default:
+			return core.DecomposeCtx(ctx, h)
 		}
-		return core.DecomposeCtx(ctx, h)
 	}
 
 	switch {
@@ -100,7 +106,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	default:
 		_ = max
 		var r *core.Result
-		if *shards > 0 {
+		if *shards > 0 || *csr {
 			d, err := decomposeVia()
 			if err != nil {
 				return err

@@ -66,6 +66,27 @@ func TestRunShardedMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestRunCSRMatchesMapPeeler pins the -csr default (the flat-array
+// kernel) to the map-based peeler byte for byte, member listing
+// included, for both the maximum-core and decompose modes.
+func TestRunCSRMatchesMapPeeler(t *testing.T) {
+	for _, mode := range [][]string{
+		{"-max"},
+		{"-decompose"},
+	} {
+		var flat, maps bytes.Buffer
+		if err := run(mode, strings.NewReader(planted), &flat); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(append([]string{"-csr=false"}, mode...), strings.NewReader(planted), &maps); err != nil {
+			t.Fatal(err)
+		}
+		if flat.String() != maps.String() {
+			t.Errorf("%v: csr %q vs map peeler %q", mode, flat.String(), maps.String())
+		}
+	}
+}
+
 func TestRunBiCoreFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-k", "2", "-l", "3", "-quiet"}, strings.NewReader(planted), &out); err != nil {

@@ -74,6 +74,33 @@ func BenchmarkGuardShardedDecompose(b *testing.B) {
 	}
 }
 
+// BenchmarkGuardDecompose pins the map-based sequential decomposition,
+// the semantic reference the CSR kernel is differentially tested
+// against.
+func BenchmarkGuardDecompose(b *testing.B) {
+	h := guardInstance(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := core.Decompose(h)
+		if d == nil || d.MaxK == 0 {
+			b.Fatal("degenerate decomposition")
+		}
+	}
+}
+
+// BenchmarkGuardCSRDecompose pins the flat-array bucket-queue kernel so
+// the CSR hot path cannot silently regress toward the map-based cost.
+func BenchmarkGuardCSRDecompose(b *testing.B) {
+	h := guardInstance(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := core.CSRDecompose(h)
+		if d == nil || d.MaxK == 0 {
+			b.Fatal("degenerate decomposition")
+		}
+	}
+}
+
 // BenchmarkGuardGreedyMulticover pins the lazy-heap greedy cover.
 func BenchmarkGuardGreedyMulticover(b *testing.B) {
 	h := guardInstance(b)

@@ -96,6 +96,8 @@ func drivers() map[string]func(t *testing.T, ctx context.Context) error {
 		},
 		"core.sharded.worker":   shardedDriver,
 		"core.sharded.exchange": shardedDriver,
+		"csr.build":             csrDriver,
+		"csr.peel":              csrDriver,
 		"partition.build": func(t *testing.T, ctx context.Context) error {
 			p, err := partition.BuildCtx(ctx, bigH, 4)
 			if err == nil {
@@ -189,6 +191,29 @@ func shardedDriver(t *testing.T, ctx context.Context) error {
 		}
 	} else if d != nil {
 		t.Errorf("ShardedDecomposeCtx returned a result alongside error %v", err)
+	}
+	return err
+}
+
+// csrDriver exercises both flat-array kernel sites (overlap-table build
+// and bucket-queue peel) through CSRDecomposeCtx; a successful
+// decomposition must agree with the map-based sequential peeler exactly
+// on vertex coreness.
+func csrDriver(t *testing.T, ctx context.Context) error {
+	d, err := core.CSRDecomposeCtx(ctx, bigH)
+	if err == nil {
+		want := core.Decompose(bigH)
+		if d.MaxK != want.MaxK {
+			t.Errorf("successful CSRDecomposeCtx MaxK = %d, want %d", d.MaxK, want.MaxK)
+		}
+		for v, c := range want.VertexCoreness {
+			if d.VertexCoreness[v] != c {
+				t.Errorf("successful CSRDecomposeCtx: vertex %d coreness %d, want %d", v, d.VertexCoreness[v], c)
+				break
+			}
+		}
+	} else if d != nil {
+		t.Errorf("CSRDecomposeCtx returned a result alongside error %v", err)
 	}
 	return err
 }
@@ -397,6 +422,20 @@ func TestChaosErrorArmOverSweep(t *testing.T) {
 		}},
 		{"partition.build", func(ctx context.Context, h *hypergraph.Hypergraph) error {
 			_, err := partition.BuildCtx(ctx, h, 3)
+			return err
+		}},
+		{"csr.build", func(ctx context.Context, h *hypergraph.Hypergraph) error {
+			d, err := core.CSRDecomposeCtx(ctx, h)
+			if err == nil {
+				return check.ValidDecomposition(h, d)
+			}
+			return err
+		}},
+		{"csr.peel", func(ctx context.Context, h *hypergraph.Hypergraph) error {
+			d, err := core.CSRDecomposeCtx(ctx, h)
+			if err == nil {
+				return check.ValidDecomposition(h, d)
+			}
 			return err
 		}},
 	}

@@ -40,7 +40,7 @@ func BiCoreCtx(ctx context.Context, h *hypergraph.Hypergraph, k, l int) (r *Resu
 	// Seed: remove undersized hyperedges before the vertex peel.
 	var drop []int
 	for f := 0; f < h.NumEdges(); f++ {
-		if p.eAlive[f] && p.eDeg[f] < l {
+		if p.eAlive[f] && p.eDeg[f] < int32(l) {
 			drop = append(drop, f)
 		}
 	}

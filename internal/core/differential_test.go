@@ -145,6 +145,75 @@ func TestDifferentialShardedDecompose(t *testing.T) {
 	}
 }
 
+// TestDifferentialCSRDecompose pins the flat-array bucket-queue kernel
+// (internal/csr, reached through core.CSRDecompose) to both the
+// level-by-level map-based Decompose and the sharded engine, with the
+// same protocol as the sharded differential: exact vertex coreness and
+// MaxK, per-level hyperedge member-set families via SameResult (the
+// surviving copy of equal-set hyperedges is deletion-order dependent),
+// the independent fixpoint oracle, and the Cellzome golden numbers.
+// No goroutine may outlive the calls — the CSR kernel is sequential,
+// so a leak here would mean the sharded comparator leaked.
+func TestDifferentialCSRDecompose(t *testing.T) {
+	snapshot := check.GoroutineSnapshot()
+	defer func() {
+		if err := check.CheckNoLeaks(snapshot, 2*time.Second); err != nil {
+			t.Error(err)
+		}
+	}()
+	for i, h := range check.Instances(58, 0xC04E6) {
+		want := core.Decompose(h)
+		got := core.CSRDecompose(h)
+		if got.MaxK != want.MaxK {
+			t.Fatalf("instance %d %v: CSR MaxK = %d, want %d", i, h, got.MaxK, want.MaxK)
+		}
+		for v, c := range want.VertexCoreness {
+			if got.VertexCoreness[v] != c {
+				t.Fatalf("instance %d %v: CSR vertex %d coreness %d, want %d",
+					i, h, v, got.VertexCoreness[v], c)
+			}
+		}
+		for k := 1; k <= want.MaxK; k++ {
+			if err := check.SameResult(h, got.Core(k), want.Core(k)); err != nil {
+				t.Fatalf("instance %d %v, k=%d: CSR vs sequential: %v", i, h, k, err)
+			}
+		}
+		if err := check.ValidDecomposition(h, got); err != nil {
+			t.Fatalf("instance %d %v: CSR decomposition: %v", i, h, err)
+		}
+		sharded := core.ShardedDecompose(h, core.ShardedOptions{Shards: 3})
+		if sharded.MaxK != got.MaxK {
+			t.Fatalf("instance %d %v: sharded MaxK %d vs CSR %d", i, h, sharded.MaxK, got.MaxK)
+		}
+		for k := 1; k <= got.MaxK; k++ {
+			if err := check.SameResult(h, sharded.Core(k), got.Core(k)); err != nil {
+				t.Fatalf("instance %d %v, k=%d: sharded vs CSR: %v", i, h, k, err)
+			}
+		}
+	}
+	h := dataset.Cellzome().H
+	want := core.Decompose(h)
+	got := core.CSRDecompose(h)
+	if got.MaxK != 6 {
+		t.Fatalf("Cellzome CSR MaxK = %d, want 6", got.MaxK)
+	}
+	for v, c := range want.VertexCoreness {
+		if got.VertexCoreness[v] != c {
+			t.Fatalf("Cellzome: CSR vertex %d coreness %d, want %d", v, got.VertexCoreness[v], c)
+		}
+	}
+	r6 := got.Core(6)
+	if err := check.SameResult(h, r6, want.Core(6)); err != nil {
+		t.Fatalf("Cellzome 6-core: CSR vs sequential: %v", err)
+	}
+	if err := check.ValidCore(h, 6, r6); err != nil {
+		t.Fatalf("Cellzome CSR 6-core: %v", err)
+	}
+	if r6.NumVertices != 41 || r6.NumEdges != 54 {
+		t.Fatalf("Cellzome CSR 6-core is %d/%d, want the paper's 41/54", r6.NumVertices, r6.NumEdges)
+	}
+}
+
 // TestDifferentialBiCore checks the (k, l)-core peeler against the
 // definitional fixpoint oracle.
 func TestDifferentialBiCore(t *testing.T) {

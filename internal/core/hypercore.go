@@ -104,8 +104,8 @@ type peeler struct {
 	ops    int // operations since the last checkpoint
 	vAlive []bool
 	eAlive []bool
-	vDeg   []int
-	eDeg   []int
+	vDeg   []int32
+	eDeg   []int32
 	// ov is the reduction layer's incremental overlap table (reduce.go):
 	// ov[f][g] = |f ∩ g| among alive vertices, maintained across vertex
 	// and hyperedge deletions to detect non-maximal hyperedges.
@@ -174,8 +174,8 @@ func newPeeler(ctx context.Context, h *hypergraph.Hypergraph) *peeler {
 		meter:   run.MeterFrom(ctx),
 		vAlive:  make([]bool, nv),
 		eAlive:  make([]bool, ne),
-		vDeg:    make([]int, nv),
-		eDeg:    make([]int, ne),
+		vDeg:    make([]int32, nv),
+		eDeg:    make([]int32, ne),
 		inQueue: make([]bool, nv),
 		vCore:   make([]int, nv),
 		eCore:   make([]int, ne),
@@ -186,11 +186,11 @@ func newPeeler(ctx context.Context, h *hypergraph.Hypergraph) *peeler {
 	}
 	for v := 0; v < nv; v++ {
 		p.vAlive[v] = true
-		p.vDeg[v] = h.VertexDegree(v)
+		p.vDeg[v] = int32(h.VertexDegree(v))
 	}
 	for f := 0; f < ne; f++ {
 		p.eAlive[f] = true
-		p.eDeg[f] = h.EdgeDegree(f)
+		p.eDeg[f] = int32(h.EdgeDegree(f))
 	}
 	p.ov.Fill(h, p.checkpoint)
 	// Initial reduction.  Collect first, then delete, so that the
@@ -224,7 +224,7 @@ func (p *peeler) deleteEdge(f int) {
 			continue
 		}
 		p.vDeg[w]--
-		if p.vDeg[w] < p.k && !p.inQueue[w] {
+		if p.vDeg[w] < int32(p.k) && !p.inQueue[w] {
 			p.inQueue[w] = true
 			p.queue = append(p.queue, w)
 		}
@@ -264,7 +264,7 @@ func (p *peeler) deleteVertex(v int) {
 		if !p.eAlive[f] {
 			continue
 		}
-		if p.eDeg[f] < p.minEdgeSize || p.ov.NonMaximal(int(f), p.eDeg) {
+		if p.eDeg[f] < int32(p.minEdgeSize) || p.ov.NonMaximal(int(f), p.eDeg) {
 			p.deleteEdge(int(f))
 		}
 	}
@@ -276,7 +276,7 @@ func (p *peeler) deleteVertex(v int) {
 func (p *peeler) peelTo(k int) {
 	p.k = k
 	for v := 0; v < len(p.vAlive); v++ {
-		if p.vAlive[v] && p.vDeg[v] < k && !p.inQueue[v] {
+		if p.vAlive[v] && p.vDeg[v] < int32(k) && !p.inQueue[v] {
 			p.inQueue[v] = true
 			p.queue = append(p.queue, int32(v))
 		}

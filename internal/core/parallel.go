@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hyperplex/internal/csr"
 	"hyperplex/internal/failpoint"
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/run"
@@ -92,6 +93,9 @@ func KCoreParallelCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, work
 		return nil, err
 	}
 	nv, ne := h.NumVertices(), h.NumEdges()
+	// The snapshot checker reads pins through the flat CSR view (the
+	// adjacency is aliased from h, so this costs only the offsets).
+	cv := csr.FromH(h)
 
 	vAlive := make([]atomic.Bool, nv)
 	eAlive := make([]atomic.Bool, ne)
@@ -190,7 +194,7 @@ func KCoreParallelCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, work
 			for i := lo; i < hi; i++ {
 				f := cand[i]
 				df := eDeg[f].Load()
-				if df == 0 || scratch.NonMaximal(h, f, df, vAliveAt, eAliveAt, eDegAt) {
+				if df == 0 || scratch.NonMaximal(cv, f, df, vAliveAt, eAliveAt, eDegAt) {
 					dead[worker] = append(dead[worker], f)
 				}
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hyperplex/internal/csr"
 	"hyperplex/internal/hypergraph"
 )
 
@@ -13,120 +14,36 @@ import (
 //   - overlapTable maintains the pairwise overlap counts incrementally
 //     while vertices and hyperedges are deleted — the data structure of
 //     the sequential peeler (hypercore.go, bicore.go), where each
-//     deletion updates the table in place;
+//     deletion updates the table in place.  Since the CSR substrate PR
+//     it is backed by the flat-array csr.Overlaps (offset/neighbor/count
+//     int32 rows) rather than per-hyperedge Go maps;
 //   - nonMaxScratch re-derives the overlap counts of one hyperedge
 //     against a consistent alive snapshot with stamped scratch arrays —
 //     the strategy of the round-synchronous parallel peeler
 //     (parallel.go) and the sharded engine (sharded.go), whose
 //     synchronized phases make a persistent global table unnecessary.
+//     It reads the pins through a csr.CSR view.
 //
 // Both apply the shared tie-break for equal hyperedges: of two alive
 // hyperedges with identical member sets, the lower-ID copy is the
 // maximal one.
 
-// overlapTable maintains ov[f][g] = |f ∩ g| over the currently alive
-// vertices, for every pair of overlapping alive hyperedges.  (The
-// paper uses balanced trees for these sets; Go maps give the same
-// amortized behaviour.)
+// overlapTable maintains ov(f, g) = |f ∩ g| over the currently alive
+// vertices, for every pair of initially overlapping hyperedges.  (The
+// paper uses balanced trees for these sets; the flat sorted rows of
+// csr.Overlaps give the same amortized behaviour with binary searches
+// instead of pointer chasing.)  Overlap, NonMaximal, DropEdge and
+// ShrinkPairwise are promoted from the embedded table.
 type overlapTable struct {
-	ov []map[int32]int32
+	csr.Overlaps
 }
 
 // Fill builds the table for h with every vertex and hyperedge alive,
-// in O(Σ_v d(v)²) time: one pass over the vertex adjacency lists.
-// checkpoint is called with an operation count at bounded intervals so
-// the caller can honor cancellation and budgets; pass a no-op when the
-// construction is not cancellable.
+// in O(Σ_v d(v)²) time.  checkpoint is called with an operation count
+// at bounded intervals so the caller can honor cancellation and
+// budgets; pass a no-op when the construction is not cancellable.
 func (t *overlapTable) Fill(h *hypergraph.Hypergraph, checkpoint func(n int)) {
-	nv, ne := h.NumVertices(), h.NumEdges()
-	t.ov = make([]map[int32]int32, ne)
-	// Pre-size the overlap maps with each hyperedge's d₂ (counted with
-	// a stamped scratch pass) so the construction below never rehashes.
-	d2 := make([]int32, ne)
-	stamp := make([]int32, ne)
-	for i := range stamp {
-		stamp[i] = -1
-	}
-	for f := 0; f < ne; f++ {
-		checkpoint(1)
-		for _, v := range h.Vertices(f) {
-			for _, g := range h.Edges(int(v)) {
-				if g != int32(f) && stamp[g] != int32(f) {
-					stamp[g] = int32(f)
-					d2[f]++
-				}
-			}
-		}
-	}
-	for f := 0; f < ne; f++ {
-		t.ov[f] = make(map[int32]int32, d2[f])
-	}
-	for v := 0; v < nv; v++ {
-		adj := h.Edges(v)
-		checkpoint(1 + len(adj))
-		for i := 0; i < len(adj); i++ {
-			for j := i + 1; j < len(adj); j++ {
-				f, g := adj[i], adj[j]
-				t.ov[f][g]++
-				t.ov[g][f]++
-			}
-		}
-	}
-}
-
-// Overlap returns the current |f ∩ g| recorded in the table (0 when
-// the hyperedges do not overlap among alive vertices).
-func (t *overlapTable) Overlap(f, g int) int {
-	return int(t.ov[f][int32(g)])
-}
-
-// NonMaximal reports whether alive hyperedge f is currently contained
-// in another alive hyperedge: some g with |f ∩ g| = d(f) and either
-// d(g) > d(f) (strict containment) or d(g) = d(f) with g < f (the
-// tie-break that keeps exactly one copy of equal hyperedges).  eDeg
-// holds the current alive degrees of the hyperedges.
-func (t *overlapTable) NonMaximal(f int, eDeg []int) bool {
-	df := int32(eDeg[f])
-	for g, cnt := range t.ov[f] {
-		if cnt != df {
-			continue
-		}
-		dg := eDeg[g]
-		if dg > eDeg[f] || (dg == eDeg[f] && int(g) < f) {
-			return true
-		}
-	}
-	return false
-}
-
-// DropEdge removes hyperedge f from the table: f disappears from the
-// overlap sets of its neighbors and its own set is released.  Deleting
-// an edge can never make another edge non-maximal, so no containment
-// re-checks are needed.
-func (t *overlapTable) DropEdge(f int) {
-	for g := range t.ov[f] {
-		delete(t.ov[g], int32(f))
-	}
-	t.ov[f] = nil
-}
-
-// ShrinkPairwise updates the table after one vertex shared by exactly
-// the hyperedges in live has been deleted: every pairwise overlap
-// among them decreases by one, and pairs reaching zero are removed
-// from each other's sets.
-func (t *overlapTable) ShrinkPairwise(live []int32) {
-	for i := 0; i < len(live); i++ {
-		for j := i + 1; j < len(live); j++ {
-			f, g := live[i], live[j]
-			if c := t.ov[f][g] - 1; c == 0 {
-				delete(t.ov[f], g)
-				delete(t.ov[g], f)
-			} else {
-				t.ov[f][g] = c
-				t.ov[g][f] = c
-			}
-		}
-	}
+	t.Build(csr.FromH(h), checkpoint)
 }
 
 // nonMaxScratch is the per-worker scratch for snapshot-based
@@ -149,13 +66,13 @@ func newNonMaxScratch(ne int) *nonMaxScratch {
 }
 
 // NonMaximal reports whether hyperedge f, with df > 0 alive vertices,
-// is contained in another alive hyperedge of h, reading the alive
+// is contained in another alive hyperedge of c, reading the alive
 // snapshot through the accessors: vAlive reports whether a vertex is
 // alive, eAlive whether a hyperedge is alive, and eDeg the current
 // alive degree of an alive hyperedge.  The detection counts overlaps
 // |f ∩ g| over f's alive two-hop neighborhood and applies the shared
 // (degree, ID) tie-break.
-func (s *nonMaxScratch) NonMaximal(h *hypergraph.Hypergraph, f, df int32, vAlive, eAlive func(int32) bool, eDeg func(int32) int32) bool {
+func (s *nonMaxScratch) NonMaximal(c *csr.CSR, f, df int32, vAlive, eAlive func(int32) bool, eDeg func(int32) int32) bool {
 	if s.seq == 1<<31-1 {
 		for j := range s.stamp {
 			s.stamp[j] = 0
@@ -164,11 +81,11 @@ func (s *nonMaxScratch) NonMaximal(h *hypergraph.Hypergraph, f, df int32, vAlive
 	}
 	s.seq++
 	mark := s.seq // unique per check within this scratch
-	for _, v := range h.Vertices(int(f)) {
+	for _, v := range c.EdgeVertices(f) {
 		if !vAlive(v) {
 			continue
 		}
-		for _, g := range h.Edges(int(v)) {
+		for _, g := range c.VertexEdges(v) {
 			if g == f || !eAlive(g) {
 				continue
 			}

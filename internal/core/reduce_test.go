@@ -9,6 +9,7 @@ package core
 import (
 	"testing"
 
+	"hyperplex/internal/csr"
 	"hyperplex/internal/gen"
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/xrand"
@@ -155,11 +156,12 @@ func TestNonMaximalDetectorsAgree(t *testing.T) {
 		var tab overlapTable
 		tab.Fill(h, noCheckpoint)
 		scratch := newNonMaxScratch(ne)
-		eDeg := make([]int, ne)
+		cv := csr.FromH(h)
+		eDeg := make([]int32, ne)
 		for f := range eDeg {
-			eDeg[f] = h.EdgeDegree(f)
+			eDeg[f] = int32(h.EdgeDegree(f))
 		}
-		eDegAt := func(g int32) int32 { return int32(eDeg[g]) }
+		eDegAt := func(g int32) int32 { return eDeg[g] }
 		want := hypergraph.NonMaximalEdges(h)
 		for f := 0; f < ne; f++ {
 			if eDeg[f] == 0 {
@@ -168,7 +170,7 @@ func TestNonMaximalDetectorsAgree(t *testing.T) {
 			if got := tab.NonMaximal(f, eDeg); got != want[f] {
 				t.Fatalf("instance %d %v: overlapTable.NonMaximal(%d) = %t, want %t", i, h, f, got, want[f])
 			}
-			if got := scratch.NonMaximal(h, int32(f), int32(eDeg[f]), alive, alive, eDegAt); got != want[f] {
+			if got := scratch.NonMaximal(cv, int32(f), eDeg[f], alive, alive, eDegAt); got != want[f] {
 				t.Fatalf("instance %d %v: nonMaxScratch.NonMaximal(%d) = %t, want %t", i, h, f, got, want[f])
 			}
 		}
@@ -186,12 +188,13 @@ func TestNonMaxScratchStampWraparound(t *testing.T) {
 	alive := func(int32) bool { return true }
 	eDegAt := func(g int32) int32 { return int32(h.EdgeDegree(int(g))) }
 	scratch := newNonMaxScratch(h.NumEdges())
+	cv := csr.FromH(h)
 	scratch.seq = 1<<31 - 3
 	for trial := 0; trial < 6; trial++ {
-		if !scratch.NonMaximal(h, 0, 2, alive, alive, eDegAt) {
+		if !scratch.NonMaximal(cv, 0, 2, alive, alive, eDegAt) {
 			t.Fatalf("trial %d (seq %d): edge 0 ⊂ edge 1 not detected", trial, scratch.seq)
 		}
-		if scratch.NonMaximal(h, 1, 3, alive, alive, eDegAt) {
+		if scratch.NonMaximal(cv, 1, 3, alive, alive, eDegAt) {
 			t.Fatalf("trial %d (seq %d): maximal edge 1 flagged", trial, scratch.seq)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hyperplex/internal/csr"
 	"hyperplex/internal/failpoint"
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/partition"
@@ -25,6 +26,11 @@ import (
 // the engine reaches the same confluent fixpoint per level; the
 // non-maximality detection is the reduction layer's snapshot checker
 // (reduce.go).
+//
+// All pin traversal goes through the flat CSR view (internal/csr) of
+// the input, and the exchange payloads are flat int32 ID slices over
+// that shared substrate — one entry per degree decrement — so a future
+// distributed engine can ship the outboxes as-is.
 
 // fpShardedWorker fires inside every sharded engine worker, so an
 // injected panic exercises the worker recovery boundary.
@@ -97,6 +103,7 @@ func ShardedDecomposeCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Sha
 // slices indexed by shard are written only by that shard.
 type shardedEngine struct {
 	h    *hypergraph.Hypergraph
+	c    *csr.CSR // flat view of h; all pin traversal goes through it
 	part *partition.Partition
 	//hyperplexvet:ignore ctxfirst scoped to one ShardedDecomposeCtx call; the phase methods all run under it
 	ctx     context.Context
@@ -132,6 +139,7 @@ func newShardedEngine(ctx context.Context, h *hypergraph.Hypergraph, part *parti
 	ns := part.NumShards()
 	e := &shardedEngine{
 		h:           h,
+		c:           csr.FromH(h),
 		part:        part,
 		ctx:         ctx,
 		meter:       run.MeterFrom(ctx),
@@ -258,7 +266,7 @@ func (e *shardedEngine) applyDying(s, _ int) error {
 	for _, f := range list {
 		e.eAlive[f] = false
 		e.eCore[f] = e.clampCore()
-		for _, v := range e.h.Vertices(int(f)) {
+		for _, v := range e.c.EdgeVertices(f) {
 			if !e.vAlive[v] {
 				continue
 			}
@@ -313,7 +321,7 @@ func (e *shardedEngine) retireAndShrink(s, _ int) error {
 		e.vAlive[v] = false
 		e.vCore[v] = e.clampCore()
 		e.aliveVShard[s]--
-		for _, f := range e.h.Edges(int(v)) {
+		for _, f := range e.c.VertexEdges(v) {
 			if !e.eAlive[f] {
 				continue
 			}
@@ -373,7 +381,7 @@ func (e *shardedEngine) checkShard(s, worker int, cand []int32) error {
 	e.dying[s] = e.dying[s][:0]
 	for _, f := range cand {
 		df := e.eDeg[f]
-		if df == 0 || scratch.NonMaximal(e.h, f, df, e.vAliveAt, e.eAliveAt, e.eDegAt) {
+		if df == 0 || scratch.NonMaximal(e.c, f, df, e.vAliveAt, e.eAliveAt, e.eDegAt) {
 			e.dying[s] = append(e.dying[s], f)
 		}
 	}

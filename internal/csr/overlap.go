@@ -1,0 +1,160 @@
+package csr
+
+import "slices"
+
+// Overlaps is the flat-array overlap table of the reduction layer:
+// for every hyperedge f it stores the sorted row of hyperedges g
+// sharing at least one vertex with f initially, and alongside it the
+// current |f ∩ g| over alive vertices.  It replaces the per-hyperedge
+// Go maps of the original sequential peeler with three int32 arrays
+// (offsets, neighbor IDs, counts), so a containment probe is a binary
+// search in a cache-resident row instead of a hash walk.
+//
+// The row structure is fixed at Build time; deletions are expressed by
+// the dropped flags (hyperedges) and by decrementing counts (vertices,
+// via ShrinkPairwise).  Counts of pairs involving a dropped hyperedge
+// go stale, which is harmless: every reader skips dropped rows and
+// dropped neighbors.
+type Overlaps struct {
+	off     []int32 // len NumEdges()+1; row of f is nbr[off[f]:off[f+1]]
+	nbr     []int32 // initially-overlapping hyperedges, sorted per row
+	cnt     []int32 // cnt[i] = current |f ∩ nbr[i]| over alive vertices
+	dropped []bool
+}
+
+// Build fills the table for c with every vertex and hyperedge alive,
+// in O(Σ_v d(v)²) time and three passes over the two-hop structure.
+// checkpoint is called with an operation count at bounded intervals so
+// the caller can honor cancellation and budgets; pass a no-op when the
+// construction is not cancellable.
+func (o *Overlaps) Build(c *CSR, checkpoint func(n int)) {
+	ne := c.NumEdges()
+	o.off = make([]int32, ne+1)
+	o.dropped = make([]bool, ne)
+
+	// Pass 1: d₂ per hyperedge with a stamped scratch, giving the row
+	// offsets.
+	stamp := make([]int32, ne)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for f := 0; f < ne; f++ {
+		checkpoint(1)
+		d2 := int32(0)
+		for _, v := range c.EdgeVertices(int32(f)) {
+			for _, g := range c.VertexEdges(v) {
+				if g != int32(f) && stamp[g] != int32(f) {
+					stamp[g] = int32(f)
+					d2++
+				}
+			}
+		}
+		o.off[f+1] = o.off[f] + d2
+	}
+	o.nbr = make([]int32, o.off[ne])
+	o.cnt = make([]int32, o.off[ne])
+
+	// Pass 2: collect each row's distinct neighbors and sort it.  The
+	// stamp array is re-used with an offset generation (f+ne > every
+	// pass-1 stamp), so no second scratch allocation or clearing pass.
+	for f := 0; f < ne; f++ {
+		row := o.nbr[o.off[f]:o.off[f]]
+		for _, v := range c.EdgeVertices(int32(f)) {
+			checkpoint(1 + len(c.VertexEdges(v)))
+			for _, g := range c.VertexEdges(v) {
+				if g != int32(f) && stamp[g] != int32(f)+int32(ne) {
+					stamp[g] = int32(f) + int32(ne)
+					row = append(row, g)
+				}
+			}
+		}
+		slices.Sort(row)
+	}
+
+	// Pass 3: accumulate the overlap counts.  pos[g] is g's slot in the
+	// current row; it is fully rewritten per row before being read, so
+	// the array needs no clearing between rows.
+	pos := stamp // reuse: every entry is written before read below
+	for f := 0; f < ne; f++ {
+		lo, hi := o.off[f], o.off[f+1]
+		for i := lo; i < hi; i++ {
+			pos[o.nbr[i]] = i
+		}
+		for _, v := range c.EdgeVertices(int32(f)) {
+			checkpoint(1 + len(c.VertexEdges(v)))
+			for _, g := range c.VertexEdges(v) {
+				if g != int32(f) {
+					o.cnt[pos[g]]++
+				}
+			}
+		}
+	}
+}
+
+// Overlap returns the current |f ∩ g| (0 when the hyperedges do not
+// overlap among alive vertices, or when either has been dropped).
+func (o *Overlaps) Overlap(f, g int) int {
+	if o.dropped[f] || o.dropped[g] {
+		return 0
+	}
+	lo, hi := o.off[f], o.off[f+1]
+	i, ok := slices.BinarySearch(o.nbr[lo:hi], int32(g))
+	if !ok {
+		return 0
+	}
+	return int(o.cnt[int(lo)+i])
+}
+
+// NonMaximal reports whether alive hyperedge f is currently contained
+// in another alive hyperedge: some g with |f ∩ g| = d(f) and either
+// d(g) > d(f) (strict containment) or d(g) = d(f) with g < f (the
+// tie-break that keeps exactly one copy of equal hyperedges).  eDeg
+// holds the current alive degrees of the hyperedges.
+func (o *Overlaps) NonMaximal(f int, eDeg []int32) bool {
+	df := eDeg[f]
+	if df == 0 {
+		return false
+	}
+	for i := o.off[f]; i < o.off[f+1]; i++ {
+		if o.cnt[i] != df {
+			continue
+		}
+		g := o.nbr[i]
+		if o.dropped[g] {
+			continue
+		}
+		dg := eDeg[g]
+		if dg > df || (dg == df && int(g) < f) {
+			return true
+		}
+	}
+	return false
+}
+
+// DropEdge removes hyperedge f from the table.  Deleting an edge can
+// never make another edge non-maximal, so no containment re-checks are
+// needed; readers skip dropped hyperedges, so the stale counts of
+// pairs involving f are never consulted.
+func (o *Overlaps) DropEdge(f int) {
+	o.dropped[f] = true
+}
+
+// ShrinkPairwise updates the table after one vertex shared by exactly
+// the hyperedges in live has been deleted: every pairwise overlap
+// among them decreases by one.  Each pair shares the deleted vertex,
+// so it is guaranteed present in both rows.
+func (o *Overlaps) ShrinkPairwise(live []int32) {
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			o.dec(live[i], live[j])
+			o.dec(live[j], live[i])
+		}
+	}
+}
+
+func (o *Overlaps) dec(f, g int32) {
+	lo, hi := o.off[f], o.off[f+1]
+	if i, ok := slices.BinarySearch(o.nbr[lo:hi], g); ok {
+		o.cnt[int(lo)+i]--
+	}
+}

@@ -1,0 +1,488 @@
+package csr
+
+import (
+	"context"
+	"fmt"
+
+	"hyperplex/internal/failpoint"
+	"hyperplex/internal/run"
+)
+
+// This file is the flat-array decomposition kernel: a lazy bucket-queue
+// peeler over a CSR, computing the same core decomposition as the
+// level-by-level sequential peeler in internal/core but without maps,
+// per-level vertex scans, or per-deletion allocations.  All mutable
+// state lives in a single int32 arena carved into slices up front.
+//
+// The equivalence with the level peeler: popping the minimum-degree
+// vertex v at degree d and setting core = max(core, d) assigns v the
+// coreness the level peeler assigns when it deletes v while raising the
+// threshold to core+1; hyperedges deleted in the cascade get the same
+// level's coreness (core).  The fixpoint is confluent, so the vertex
+// coreness and MaxK are identical; of duplicate equal-set hyperedges
+// the surviving copy can differ by deletion order, which is why the
+// differential tests compare induced member-set families per level.
+
+// fpBuild fires at the checkpoints of the construction phase (arena
+// setup and initial reduction), before the first vertex pops.
+var fpBuild = failpoint.Register("csr.build")
+
+// fpPeel fires at the checkpoints of the peel loop proper.
+var fpPeel = failpoint.Register("csr.peel")
+
+// peelCheckEvery bounds the elementary operations between two
+// cancellation/budget checkpoints, matching the sequential peeler.
+const peelCheckEvery = 64
+
+// Decomposition is the full core decomposition of a CSR, in the flat
+// int32 layout the kernel produces.  Local IDs index it; callers
+// holding a CSR block map them back through VertexID/EdgeID.
+type Decomposition struct {
+	// VertexCoreness[v] is the largest k such that v is in the k-core.
+	VertexCoreness []int32
+	// EdgeCoreness[f] is the largest k such that hyperedge f is in the
+	// k-core (0 if f does not survive reduction of the 1-core).
+	EdgeCoreness []int32
+	// MaxK is the maximum k with a non-empty k-core.
+	MaxK int
+}
+
+// peelAbort unwinds the peel when a checkpoint trips; it is recovered
+// at the Ctx API boundary and never escapes the package.
+type peelAbort struct{ err error }
+
+// recoverPeelAbort converts a checkpoint abort into the returned
+// error, leaving any other panic untouched.
+func recoverPeelAbort(err *error) {
+	if x := recover(); x != nil {
+		a, ok := x.(peelAbort)
+		if !ok {
+			panic(x)
+		}
+		*err = a.err
+	}
+}
+
+// peeler is the kernel state.  The bucket queue is lazy: a vertex is
+// pushed again on every degree decrement and stale entries (degree or
+// liveness mismatch) are skipped at pop time, so the entry arena is
+// bounded by |V| + |E| (one initial push per vertex, at most one push
+// per pin).
+type peeler struct {
+	c *CSR
+	//hyperplexvet:ignore ctxfirst scoped to one DecomposeCtx call; threading ctx through every cascade helper would bloat the hot path
+	ctx        context.Context
+	meter      *run.Meter
+	checkpoint func(n int) // phase-specific: build or peel failpoint
+	ops        int
+
+	vAlive, eAlive []bool
+	vDeg, eDeg     []int32
+	vCore, eCore   []int32
+
+	// Bucket queue: head[d] is the top entry index of degree-d bucket,
+	// next links entries, item holds the vertex of each entry.
+	head, next, item []int32
+	nfree            int32 // next unused entry slot
+	cur              int   // lowest possibly-non-empty bucket
+	live             []int32
+
+	// Containment scratch: stamp[w] == seq marks w as an alive member
+	// of the hyperedge under test, estamp[g] == seq marks g as incident
+	// to the test edge's second witness vertex, and shrunk[g] == dseq
+	// marks g as incident to the vertex being deleted (no pairwise
+	// overlap table is maintained — see nonMaximal).
+	stamp  []int32
+	estamp []int32
+	shrunk []int32
+	seq    int32
+	dseq   int32
+
+	// mem mirrors the CSR's edge→vertex rows with each row sorted by
+	// ascending static vertex row length, so nonMaximal finds the
+	// witnesses with the shortest candidate scans in O(1) expected
+	// members instead of scanning the whole row.
+	mem []int32
+
+	core   int
+	aliveV int
+}
+
+// charge accrues n elementary operations and fires the current phase's
+// checkpoint once the accumulator crosses the threshold.  The common
+// case is a plain add-and-compare, so the indirect checkpoint call is
+// off the hot path.
+func (p *peeler) charge(n int) {
+	p.ops += n
+	if p.ops >= peelCheckEvery {
+		p.checkpoint(0)
+	}
+}
+
+func (p *peeler) checkpointBuild(n int) {
+	p.ops += n
+	if p.ops < peelCheckEvery {
+		return
+	}
+	charge := int64(p.ops)
+	p.ops = 0
+	if err := failpoint.Inject(fpBuild); err != nil {
+		//hyperplexvet:ignore nopanic peelAbort unwinds the construction and is recovered at the Ctx API boundary
+		panic(peelAbort{fmt.Errorf("csr: build: %w", err)})
+	}
+	if err := run.Tick(p.ctx, p.meter, charge); err != nil {
+		//hyperplexvet:ignore nopanic peelAbort unwinds the construction and is recovered at the Ctx API boundary
+		panic(peelAbort{err})
+	}
+}
+
+func (p *peeler) checkpointPeel(n int) {
+	p.ops += n
+	if p.ops < peelCheckEvery {
+		return
+	}
+	charge := int64(p.ops)
+	p.ops = 0
+	if err := failpoint.Inject(fpPeel); err != nil {
+		//hyperplexvet:ignore nopanic peelAbort unwinds the cascade and is recovered at the Ctx API boundary
+		panic(peelAbort{fmt.Errorf("csr: peel: %w", err)})
+	}
+	if err := run.Tick(p.ctx, p.meter, charge); err != nil {
+		//hyperplexvet:ignore nopanic peelAbort unwinds the cascade and is recovered at the Ctx API boundary
+		panic(peelAbort{err})
+	}
+}
+
+// newPeeler allocates the arena, fills the bucket queue from the
+// initial degrees and performs the initial reduction (empty and
+// non-maximal hyperedges die at coreness 0).
+func newPeeler(ctx context.Context, c *CSR) *peeler {
+	// Entry checkpoint: an already-cancelled context aborts before any
+	// work, even on inputs too small to reach a periodic checkpoint.
+	if err := run.Tick(ctx, run.MeterFrom(ctx), 0); err != nil {
+		//hyperplexvet:ignore nopanic peelAbort unwinds the construction and is recovered at the Ctx API boundary
+		panic(peelAbort{err})
+	}
+	nv, ne, pins := c.NumVertices(), c.NumEdges(), c.NumPins()
+	p := &peeler{
+		c:      c,
+		ctx:    ctx,
+		meter:  run.MeterFrom(ctx),
+		vAlive: make([]bool, nv),
+		eAlive: make([]bool, ne),
+		aliveV: nv,
+	}
+	p.checkpoint = p.checkpointBuild
+
+	maxDeg := 0
+	for v := 0; v < nv; v++ {
+		if d := int(c.VertexDegree(int32(v))); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	maxEDeg := 0
+	for f := 0; f < ne; f++ {
+		if d := int(c.EdgeDegree(int32(f))); d > maxEDeg {
+			maxEDeg = d
+		}
+	}
+
+	// One arena allocation backs every int32 slice of the kernel; the
+	// bucket entry arena is sized for the lazy queue's worst case
+	// (|V| initial pushes + one push per pin decrement).
+	entries := nv + pins
+	arena := make([]int32, 3*nv+4*ne+(maxDeg+1)+2*entries+maxDeg+pins)
+	carve := func(n int) []int32 {
+		s := arena[:n:n]
+		arena = arena[n:]
+		return s
+	}
+	p.vDeg = carve(nv)
+	p.eDeg = carve(ne)
+	p.vCore = carve(nv)
+	p.eCore = carve(ne)
+	p.head = carve(maxDeg + 1)
+	p.next = carve(entries)
+	p.item = carve(entries)
+	p.live = carve(maxDeg)[:0]
+	p.stamp = carve(nv)
+	p.estamp = carve(ne)
+	p.shrunk = carve(ne)
+	p.mem = carve(pins)
+
+	// Witness rows: each hyperedge's members sorted by ascending static
+	// vertex row length (insertion sort; rows are short).  nonMaximal
+	// scans candidates over a witness's static CSR row, so the cheapest
+	// witnesses are the members with the shortest rows — a property of
+	// the immutable CSR, computable once here.
+	copy(p.mem, c.EAdj)
+	for f := 0; f < ne; f++ {
+		p.charge(1)
+		row := p.mem[c.EOff[f]:c.EOff[f+1]]
+		for i := 1; i < len(row); i++ {
+			w := row[i]
+			lw := c.VOff[w+1] - c.VOff[w]
+			j := i - 1
+			for ; j >= 0 && c.VOff[row[j]+1]-c.VOff[row[j]] > lw; j-- {
+				row[j+1] = row[j]
+			}
+			row[j+1] = w
+		}
+	}
+
+	for i := range p.head {
+		p.head[i] = -1
+	}
+	// dseq generations start at 1 (first vertex deletion), so the
+	// zeroed shrunk array marks nothing during the initial reduction.
+	for i := range p.shrunk {
+		p.shrunk[i] = -1
+	}
+	for v := 0; v < nv; v++ {
+		p.vAlive[v] = true
+		p.vDeg[v] = c.VertexDegree(int32(v))
+	}
+	for f := 0; f < ne; f++ {
+		p.eAlive[f] = true
+		p.eDeg[f] = c.EdgeDegree(int32(f))
+	}
+	for v := int32(0); int(v) < nv; v++ {
+		p.push(v, int(p.vDeg[v]))
+	}
+
+	// Initial reduction.  Collect first, then delete, so that the
+	// containment tests all see the original incidence state.
+	var drop []int32
+	for f := 0; f < ne; f++ {
+		p.charge(1)
+		if p.eDeg[f] == 0 || p.nonMaximal(int32(f)) {
+			drop = append(drop, int32(f))
+		}
+	}
+	for _, f := range drop {
+		p.deleteEdge(f)
+	}
+	return p
+}
+
+// push records that vertex v now has degree d.  Entries are never
+// removed eagerly; pops skip entries whose recorded degree is stale.
+func (p *peeler) push(v int32, d int) {
+	idx := p.nfree
+	p.nfree++
+	p.item[idx] = v
+	p.next[idx] = p.head[d]
+	p.head[d] = idx
+	if d < p.cur {
+		p.cur = d
+	}
+}
+
+// deleteEdge removes alive hyperedge f at the current core level: its
+// alive members lose one degree and are re-pushed at their new bucket.
+func (p *peeler) deleteEdge(f int32) {
+	p.charge(1)
+	p.eAlive[f] = false
+	p.eDeg[f] = 0 // lets nonMaximal's degree filter skip dead candidates
+	p.eCore[f] = int32(p.core)
+	for _, w := range p.c.EdgeVertices(f) {
+		if !p.vAlive[w] {
+			continue
+		}
+		p.vDeg[w]--
+		p.push(w, int(p.vDeg[w]))
+	}
+}
+
+// deleteVertex removes alive vertex v at the current core level.
+// Phase one removes v from every alive hyperedge containing it; phase
+// two re-checks each shrunk hyperedge for emptiness or non-maximality,
+// cascading deleteEdge.  Only shrunk hyperedges need re-checking: a
+// containment f ⊆ g over alive vertices can only be created by f
+// losing an alive member, and the equal-set tie-break can only flip
+// against a hyperedge that shrank in the same deletion.
+func (p *peeler) deleteVertex(v int32) {
+	p.charge(1)
+	p.vAlive[v] = false
+	p.vCore[v] = int32(p.core)
+	p.aliveV--
+
+	p.dseq++
+	live := p.live[:0]
+	for _, f := range p.c.VertexEdges(v) {
+		p.shrunk[f] = p.dseq
+		if p.eAlive[f] {
+			live = append(live, f)
+			p.eDeg[f]--
+		}
+	}
+	for _, f := range live {
+		if p.eAlive[f] && (p.eDeg[f] == 0 || p.nonMaximal(f)) {
+			p.deleteEdge(f)
+		}
+	}
+}
+
+// nonMaximal reports whether alive hyperedge f is contained in another
+// alive hyperedge g over the alive vertices, with the reduction
+// tie-break (d(g) > d(f), or d(g) == d(f) and g < f, so the lowest-ID
+// copy of an equal-set family survives).  Instead of maintaining a
+// pairwise overlap table, it scans the hyperedges incident to an alive
+// member v1 of f — any g containing f must appear there — and prunes
+// the candidates three ways before counting:
+//
+//   - shrunk filter: a containment newly created by deleting vertex v
+//     needs v ∈ f and v ∉ g (if both held v, or neither, the containment
+//     already held before the deletion and f would be gone), so
+//     hyperedges that shrank in the same deleteVertex are skipped;
+//   - witness filter: g must also be incident to a second alive member
+//     v2, and for d(f) ≤ 2 the witnesses are the whole containment
+//     test;
+//   - degree filter: dead hyperedges have eDeg zeroed at deletion, so
+//     the tie-break comparison skips them without a liveness load.
+//
+// The witnesses v1, v2 are the first two alive members of f in the
+// presorted mem row — the alive members whose static CSR rows, and so
+// whose candidate scans, are shortest.  Only candidates surviving all
+// three filters reach the member count, so f's alive members are
+// stamped lazily on the first such candidate.
+func (p *peeler) nonMaximal(f int32) bool {
+	df := p.eDeg[f]
+	if df == 0 {
+		return false
+	}
+	// Hot loop: raw field locals keep the candidate scan free of
+	// repeated slice-header construction and pointer loads.
+	estamp, eDeg := p.estamp, p.eDeg
+	vAlive, shrunk, dseq := p.vAlive, p.shrunk, p.dseq
+	mrow := p.mem[p.c.EOff[f]:p.c.EOff[f+1]]
+	var v1 int32
+	i := 0
+	for ; ; i++ {
+		if w := mrow[i]; vAlive[w] {
+			v1 = w
+			i++
+			break
+		}
+	}
+	row := p.c.VertexEdges(v1)
+	p.charge(len(row))
+	if df == 1 {
+		// Every candidate contains v1 — f's only alive member — so the
+		// tie-break alone decides.
+		for _, g := range row {
+			if g == f || shrunk[g] == dseq {
+				continue
+			}
+			if dg := eDeg[g]; dg > 1 || (dg == 1 && g < f) {
+				return true
+			}
+		}
+		return false
+	}
+	var v2 int32
+	for ; ; i++ {
+		if w := mrow[i]; vAlive[w] {
+			v2 = w
+			break
+		}
+	}
+	seq := p.nextSeq()
+	for _, g := range p.c.VertexEdges(v2) {
+		estamp[g] = seq
+	}
+	eOff, eAdj := p.c.EOff, p.c.EAdj
+	stamp, stamped := p.stamp, false
+	for _, g := range row {
+		if estamp[g] != seq || g == f || shrunk[g] == dseq {
+			continue
+		}
+		if dg := eDeg[g]; dg < df || (dg == df && g > f) {
+			continue
+		}
+		if df == 2 {
+			return true // g contains both witnesses — all of alive(f)
+		}
+		if !stamped {
+			stamped = true
+			for _, w := range mrow {
+				if vAlive[w] {
+					stamp[w] = seq
+				}
+			}
+		}
+		n := int32(0)
+		for _, w := range eAdj[eOff[g]:eOff[g+1]] {
+			if stamp[w] == seq {
+				n++
+			}
+		}
+		if n == df {
+			return true
+		}
+	}
+	return false
+}
+
+// nextSeq advances the stamp generation, clearing both stamp arrays on
+// the (rare) int32 wraparound so stale stamps cannot alias.
+func (p *peeler) nextSeq() int32 {
+	if p.seq == 1<<31-1 {
+		p.seq = 0
+		clear(p.stamp)
+		clear(p.estamp)
+	}
+	p.seq++
+	return p.seq
+}
+
+// peel drains the bucket queue: repeatedly pop a minimum-degree alive
+// vertex, raise the core level to its degree if higher, and delete it.
+func (p *peeler) peel() {
+	p.checkpoint = p.checkpointPeel
+	for p.aliveV > 0 {
+		for p.head[p.cur] == -1 {
+			p.cur++
+		}
+		idx := p.head[p.cur]
+		p.head[p.cur] = p.next[idx]
+		v := p.item[idx]
+		if !p.vAlive[v] || int(p.vDeg[v]) != p.cur {
+			continue // stale entry: v died or was decremented since
+		}
+		if p.cur > p.core {
+			p.core = p.cur
+		}
+		p.deleteVertex(v)
+	}
+}
+
+// Decompose computes the full core decomposition of c with the
+// bucket-queue peeler.  It is the flat-array equivalent of the level
+// peeler in internal/core: identical vertex coreness, edge coreness
+// levels and MaxK (the surviving copy of duplicate equal-set
+// hyperedges may differ, with equal induced member-set families).
+func Decompose(c *CSR) *Decomposition {
+	d, err := DecomposeCtx(context.Background(), c)
+	if err != nil {
+		// Only reachable through an armed failpoint: a background
+		// context cannot be cancelled and carries no budget.
+		panic(err)
+	}
+	return d
+}
+
+// DecomposeCtx is Decompose honoring cancellation, deadline and any
+// run.Budget attached to ctx, checked every bounded number of peel
+// operations.  On cancellation or budget exhaustion it returns
+// (nil, err): the half-peeled state is not a valid decomposition.
+func DecomposeCtx(ctx context.Context, c *CSR) (d *Decomposition, err error) {
+	defer recoverPeelAbort(&err)
+	p := newPeeler(ctx, c)
+	p.peel()
+	return &Decomposition{
+		VertexCoreness: p.vCore,
+		EdgeCoreness:   p.eCore,
+		MaxK:           p.core,
+	}, nil
+}

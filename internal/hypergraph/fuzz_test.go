@@ -42,6 +42,13 @@ func FuzzReadText(f *testing.F) {
 	// must agree across schedules).
 	f.Add("giant: a b c d e f g h i j k l m n o p\nleft: a b\nright: o p\n")
 	f.Add("d1: h i\nd2: i h\ne1: a b c\ne2: f g h\ne3: c d e\n")
+	// CSR-hostile shapes: a max-degree hub vertex (one long vertex→edge
+	// adjacency row), a single all-vertices hyperedge (one long
+	// edge→vertex row), and singleton edges only (every offset step is
+	// exactly one).
+	f.Add("h1: hub a\nh2: hub b\nh3: hub c\nh4: hub d\nh5: hub e\nh6: hub f\nh7: hub g\nh8: hub h\n")
+	f.Add("all: a b c d e f g h i j\n")
+	f.Add("s1: a\ns2: b\ns3: c\ns4: d\ns5: a\n")
 	f.Fuzz(func(t *testing.T, data string) {
 		// Robustness: a pre-cancelled context surfaces context.Canceled
 		// for every input — never a partial parse, never a different
@@ -80,10 +87,11 @@ func FuzzReadText(f *testing.F) {
 		default:
 			t.Fatalf("budgeted ReadTextCtx of %q: got %v, want success or ErrBudgetExceeded", data, berr)
 		}
-		// Sequential and sharded core decomposition are differentially
-		// equivalent on every accepted input: identical vertex coreness
-		// and identical per-level edge families (surviving-duplicate IDs
-		// may differ, so families are compared, not raw edge coreness).
+		// Sequential, sharded and CSR core decomposition are
+		// differentially equivalent on every accepted input: identical
+		// vertex coreness and identical per-level edge families
+		// (surviving-duplicate IDs may differ, so families are compared,
+		// not raw edge coreness).
 		if h.NumPins() <= fuzzCorePins {
 			want := core.Decompose(h)
 			got := core.ShardedDecompose(h, core.ShardedOptions{Shards: 3})
@@ -98,6 +106,20 @@ func FuzzReadText(f *testing.F) {
 			for k := 1; k <= want.MaxK; k++ {
 				if err := check.SameResult(h, got.Core(k), want.Core(k)); err != nil {
 					t.Fatalf("sharded %d-core of %q: %v", k, data, err)
+				}
+			}
+			flat := core.CSRDecompose(h)
+			if flat.MaxK != want.MaxK {
+				t.Fatalf("CSR MaxK of %q: got %d, want %d", data, flat.MaxK, want.MaxK)
+			}
+			for v, c := range want.VertexCoreness {
+				if flat.VertexCoreness[v] != c {
+					t.Fatalf("CSR coreness of %q: vertex %d got %d, want %d", data, v, flat.VertexCoreness[v], c)
+				}
+			}
+			for k := 1; k <= want.MaxK; k++ {
+				if err := check.SameResult(h, flat.Core(k), want.Core(k)); err != nil {
+					t.Fatalf("CSR %d-core of %q: %v", k, data, err)
 				}
 			}
 		}

@@ -215,6 +215,16 @@ func (h *Hypergraph) EdgeSet(f int) []int {
 	return out
 }
 
+// RawCSR exposes the four CSR incidence arrays backing h: vertex-side
+// offsets and adjacency (edges containing v are vAdj[vOff[v]:vOff[v+1]])
+// and edge-side offsets and adjacency (vertices of f are
+// eAdj[eOff[f]:eOff[f+1]]).  The returned slices alias internal storage
+// and must not be modified; the accessor exists so flat-array kernel
+// substrates (internal/csr) can be built without copying the pins.
+func (h *Hypergraph) RawCSR() (vOff []int, vAdj []int32, eOff []int, eAdj []int32) {
+	return h.vOff, h.vAdj, h.eOff, h.eAdj
+}
+
 // String returns a short diagnostic description.
 func (h *Hypergraph) String() string {
 	return fmt.Sprintf("Hypergraph{|V|=%d |F|=%d |E|=%d}", h.NumVertices(), h.NumEdges(), h.NumPins())

@@ -12,7 +12,9 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 
+	"hyperplex/internal/csr"
 	"hyperplex/internal/failpoint"
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/run"
@@ -199,4 +201,67 @@ func (p *Partition) Materialize(s int) (*hypergraph.Hypergraph, map[int]int, map
 		keepF[f] = true
 	}
 	return p.H.Sub(keepV, keepF)
+}
+
+// MaterializeCSR builds shard s's block directly in the flat-array
+// kernel substrate: a csr.CSR over the shard's owned-plus-frontier
+// vertices and owned hyperedges, with local IDs assigned in ascending
+// original-ID order (the same numbering hypergraph.Sub produces).  The
+// CSR's VertexID and EdgeID arrays carry the original IDs, so the
+// block's peel results and any exchange deltas are flat int32 slices
+// mapping straight back to the full hypergraph — no maps, no name
+// tables.  Compared to Materialize it skips the builder layer
+// entirely: no vertex/edge names are synthesized, and construction is
+// O(block pins) with a binary search per pin.
+func (p *Partition) MaterializeCSR(s int) *csr.CSR {
+	sh := &p.Shards[s]
+	// Local vertex IDs: the sorted union of owned (already ascending)
+	// and frontier vertices; the two sets are disjoint and internally
+	// duplicate-free, so the union is strictly ascending after sorting.
+	keep := make([]int32, 0, len(sh.Vertices)+len(sh.Frontier))
+	keep = append(keep, sh.Vertices...)
+	keep = append(keep, sh.Frontier...)
+	slices.Sort(keep)
+	nv, ne := len(keep), len(sh.Edges)
+
+	eOff := make([]int32, ne+1)
+	for i, f := range sh.Edges {
+		eOff[i+1] = eOff[i] + int32(p.H.EdgeDegree(int(f)))
+	}
+	eAdj := make([]int32, eOff[ne])
+	for i, f := range sh.Edges {
+		row := eAdj[eOff[i]:eOff[i]]
+		for _, v := range p.H.Vertices(int(f)) {
+			// Owned hyperedges lose no members: every member is owned or
+			// on the frontier, so the search always hits.
+			j, _ := slices.BinarySearch(keep, v)
+			row = append(row, int32(j))
+		}
+	}
+
+	// Vertex side by counting sort over the local pins; edges are
+	// appended in ascending local ID, so each row comes out sorted.
+	vOff := make([]int32, nv+1)
+	for _, x := range eAdj {
+		vOff[x+1]++
+	}
+	for v := 0; v < nv; v++ {
+		vOff[v+1] += vOff[v]
+	}
+	vAdj := make([]int32, len(eAdj))
+	cursor := append([]int32(nil), vOff[:nv]...)
+	for fi := 0; fi < ne; fi++ {
+		for _, x := range eAdj[eOff[fi]:eOff[fi+1]] {
+			vAdj[cursor[x]] = int32(fi)
+			cursor[x]++
+		}
+	}
+	return &csr.CSR{
+		VOff:     vOff,
+		VAdj:     vAdj,
+		EOff:     eOff,
+		EAdj:     eAdj,
+		VertexID: keep,
+		EdgeID:   append([]int32(nil), sh.Edges...),
+	}
 }

@@ -183,6 +183,53 @@ func TestMaterialize(t *testing.T) {
 	}
 }
 
+// TestMaterializeCSR pins the flat-array block against the
+// builder-layer Materialize: both number the kept vertices in
+// ascending original-ID order, so the structures must agree
+// positionally — same counts, same member rows (translated through
+// vMap), valid CSR invariants, and ID maps that invert exactly.
+func TestMaterializeCSR(t *testing.T) {
+	for i, h := range instances(t) {
+		for _, shards := range []int{1, 3, 7} {
+			p := partition.Build(h, shards)
+			for s := range p.Shards {
+				c := p.MaterializeCSR(s)
+				if err := c.Validate(); err != nil {
+					t.Fatalf("instance %d shard %d/%d: %v", i, s, shards, err)
+				}
+				sub, vMap, fMap := p.Materialize(s)
+				if c.NumVertices() != sub.NumVertices() || c.NumEdges() != sub.NumEdges() || c.NumPins() != sub.NumPins() {
+					t.Fatalf("instance %d shard %d/%d: CSR block %d/%d/%d, Materialize %d/%d/%d",
+						i, s, shards, c.NumVertices(), c.NumEdges(), c.NumPins(),
+						sub.NumVertices(), sub.NumEdges(), sub.NumPins())
+				}
+				for old, nf := range fMap {
+					if int(c.EdgeID[nf]) != old {
+						t.Fatalf("instance %d shard %d/%d: EdgeID[%d] = %d, want %d", i, s, shards, nf, c.EdgeID[nf], old)
+					}
+					row := c.EdgeVertices(int32(nf))
+					want := sub.Vertices(nf)
+					if len(row) != len(want) {
+						t.Fatalf("instance %d shard %d/%d: edge %d has %d members, want %d",
+							i, s, shards, nf, len(row), len(want))
+					}
+					for j := range row {
+						if row[j] != want[j] {
+							t.Fatalf("instance %d shard %d/%d: edge %d member %d = %d, want %d",
+								i, s, shards, nf, j, row[j], want[j])
+						}
+					}
+				}
+				for old, nv := range vMap {
+					if int(c.VertexID[nv]) != old {
+						t.Fatalf("instance %d shard %d/%d: VertexID[%d] = %d, want %d", i, s, shards, nv, c.VertexID[nv], old)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestBuildEmptyHypergraph(t *testing.T) {
 	h, err := hypergraph.FromEdgeSets(0, nil)
 	if err != nil {
