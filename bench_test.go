@@ -294,6 +294,51 @@ func BenchmarkShardedDecompose(b *testing.B) {
 	}
 }
 
+// bandedReq builds a demand-2 multicover requirement on h, clamped to
+// each hyperedge's degree so the instance stays feasible.
+func bandedReq(h *hypergraph.Hypergraph) []int {
+	req := make([]int, h.NumEdges())
+	for f := range req {
+		req[f] = 2
+		if d := h.EdgeDegree(f); d < 2 {
+			req[f] = d
+		}
+	}
+	return req
+}
+
+// BenchmarkGreedyMulticover measures the map-based lazy-heap greedy
+// multicover — the semantic reference kernel — on the banded instance.
+func BenchmarkGreedyMulticover(b *testing.B) {
+	h := bandedBench(b)
+	w := cover.DegreeSquaredWeights(h)
+	req := bandedReq(h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cover.GreedyMulticover(h, w, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCSRGreedyMulticover measures the flat-array greedy
+// multicover kernel on the same instance as BenchmarkGreedyMulticover,
+// so the two are directly comparable (BENCH_PR7.json records the
+// trajectory).
+func BenchmarkCSRGreedyMulticover(b *testing.B) {
+	h := bandedBench(b)
+	w := cover.DegreeSquaredWeights(h)
+	req := bandedReq(h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cover.CSRGreedyMulticover(h, w, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExtModelCompare regenerates experiment X4: building the
 // competing representations.
 func BenchmarkExtModelCompare(b *testing.B) {

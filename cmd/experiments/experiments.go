@@ -43,6 +43,18 @@ func maxCoreVia(h *hypergraph.Hypergraph, o options) *core.Result {
 	return d.Core(d.MaxK)
 }
 
+// greedyVia runs the greedy cover (req == nil) or multicover with the
+// kernel selected by -csr: the flat-array CSR kernel by default, the
+// map-based reference with -csr=false.  The two kernels produce
+// identical covers — same vertices, same order, bitwise-equal weight —
+// so every experiment output is flag-independent.
+func greedyVia(h *hypergraph.Hypergraph, weights []float64, req []int, o options) (*cover.Cover, error) {
+	if o.csr {
+		return cover.CSRGreedyMulticover(h, weights, req)
+	}
+	return cover.GreedyMulticover(h, weights, req)
+}
+
 // runF1 reproduces Fig. 1: the protein degree distribution of the
 // Cellzome hypergraph and its power-law fit.
 func runF1(w io.Writer, o options) error {
@@ -251,14 +263,14 @@ func runS4(w io.Writer, o options) error {
 	h := inst.H
 	p := inst.Published
 
-	c1, err := cover.Greedy(h, nil)
+	c1, err := greedyVia(h, nil, nil, o)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "greedy min-cardinality cover:  %4d proteins, avg degree %.2f   (paper: %d @ %.1f)\n",
 		c1.Size(), c1.AverageDegree(h), p.GreedyCoverSize, p.GreedyCoverAvgDeg)
 
-	c2, err := cover.Greedy(h, cover.DegreeSquaredWeights(h))
+	c2, err := greedyVia(h, cover.DegreeSquaredWeights(h), nil, o)
 	if err != nil {
 		return err
 	}
@@ -269,7 +281,7 @@ func runS4(w io.Writer, o options) error {
 	for _, f := range inst.Singletons {
 		req[f] = 0
 	}
-	c3, err := cover.GreedyMulticover(h, cover.DegreeSquaredWeights(h), req)
+	c3, err := greedyVia(h, cover.DegreeSquaredWeights(h), req, o)
 	if err != nil {
 		return err
 	}
@@ -291,7 +303,7 @@ func runX1(w io.Writer, o options) error {
 	h := inst.H
 	weights := cover.DegreeSquaredWeights(h)
 
-	c1, err := cover.Greedy(h, weights)
+	c1, err := greedyVia(h, weights, nil, o)
 	if err != nil {
 		return err
 	}
@@ -299,7 +311,7 @@ func runX1(w io.Writer, o options) error {
 	for _, f := range inst.Singletons {
 		req[f] = 0
 	}
-	c2, err := cover.GreedyMulticover(h, weights, req)
+	c2, err := greedyVia(h, weights, req, o)
 	if err != nil {
 		return err
 	}
@@ -311,7 +323,7 @@ func runX1(w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	c4, err := cover.GreedyMulticover(h, weights, reqR)
+	c4, err := greedyVia(h, weights, reqR, o)
 	if err != nil {
 		return err
 	}
@@ -363,7 +375,7 @@ func runX2(w io.Writer, o options) error {
 		{"unit weights", nil},
 		{"degree² weights", cover.DegreeSquaredWeights(h)},
 	} {
-		g, err := cover.Greedy(h, tc.weights)
+		g, err := greedyVia(h, tc.weights, nil, o)
 		if err != nil {
 			return err
 		}
@@ -397,7 +409,7 @@ func runX2(w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	gU, err := cover.Greedy(hu, nil)
+	gU, err := greedyVia(hu, nil, nil, o)
 	if err != nil {
 		return err
 	}
@@ -594,7 +606,7 @@ func runX7(w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	c, err := cover.GreedyMulticover(projected, cover.DegreeSquaredWeights(projected), req)
+	c, err := greedyVia(projected, cover.DegreeSquaredWeights(projected), req, o)
 	if err != nil {
 		return err
 	}

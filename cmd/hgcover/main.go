@@ -49,6 +49,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	skipSingletons := fs.Bool("skip-singletons", false, "drop hyperedges smaller than the requirement instead of failing")
 	primalDual := fs.Bool("primal-dual", false, "use the certifying primal-dual algorithm (r must be 1)")
 	exact := fs.Bool("exact", false, "use exact branch-and-bound (small instances, r must be 1)")
+	useCSR := fs.Bool("csr", true, "run the greedy cover on the flat-array CSR kernel (false = map-based reference kernel; both produce identical covers)")
 	mtx := fs.Bool("mtx", false, "input is a Matrix Market file")
 	quiet := fs.Bool("quiet", false, "suppress the member listing")
 	timeout := fs.Duration("timeout", 0, "abort if reading plus covering exceed this duration (0 = no limit)")
@@ -116,6 +117,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 			return fmt.Errorf("-exact supports only -r 1")
 		}
 		c, err = cover.Exact(h, weights, 0)
+		if err != nil {
+			return err
+		}
+	case *useCSR:
+		c, err = cover.CSRGreedyMulticoverCtx(ctx, h, weights, req)
 		if err != nil {
 			return err
 		}

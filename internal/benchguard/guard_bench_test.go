@@ -112,6 +112,19 @@ func BenchmarkGuardGreedyMulticover(b *testing.B) {
 	}
 }
 
+// BenchmarkGuardCSRGreedyMulticover pins the flat-array greedy cover
+// kernel so the CSR cover hot path cannot silently regress toward the
+// map-based cost.
+func BenchmarkGuardCSRGreedyMulticover(b *testing.B) {
+	h := guardInstance(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cover.CSRGreedyMulticover(h, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGuardShortestPath pins alternating-path BFS extraction.
 func BenchmarkGuardShortestPath(b *testing.B) {
 	h := guardInstance(b)

@@ -127,6 +127,28 @@ func drivers() map[string]func(t *testing.T, ctx context.Context) error {
 			}
 			return err
 		},
+		"cover.csr.pop": func(t *testing.T, ctx context.Context) error {
+			c, err := cover.CSRGreedyCtx(ctx, bigH, nil)
+			if err == nil {
+				if verr := check.ValidCover(bigH, c, nil, nil); verr != nil {
+					t.Errorf("successful CSRGreedyCtx result invalid: %v", verr)
+				}
+			} else if c != nil {
+				t.Errorf("CSRGreedyCtx returned a cover alongside error %v", err)
+			}
+			return err
+		},
+		"cover.primaldual.scan": func(t *testing.T, ctx context.Context) error {
+			pd, err := cover.PrimalDualCtx(ctx, bigH, nil)
+			if err == nil {
+				if verr := check.ValidPrimalDual(bigH, nil, pd); verr != nil {
+					t.Errorf("successful PrimalDualCtx result invalid: %v", verr)
+				}
+			} else if pd != nil {
+				t.Errorf("PrimalDualCtx returned a result alongside error %v", err)
+			}
+			return err
+		},
 		"stats.bfs.source": func(t *testing.T, ctx context.Context) error {
 			sw, err := stats.SmallWorldStatsCtx(ctx, bigH, 4)
 			// Success or not, the (possibly partial, sampled) summary
@@ -399,6 +421,20 @@ func TestChaosErrorArmOverSweep(t *testing.T) {
 			c, err := cover.GreedyCtx(ctx, h, nil)
 			if err == nil {
 				return check.ValidCover(h, c, nil, nil)
+			}
+			return err
+		}},
+		{"cover.csr.pop", func(ctx context.Context, h *hypergraph.Hypergraph) error {
+			c, err := cover.CSRGreedyCtx(ctx, h, nil)
+			if err == nil {
+				return check.ValidCover(h, c, nil, nil)
+			}
+			return err
+		}},
+		{"cover.primaldual.scan", func(ctx context.Context, h *hypergraph.Hypergraph) error {
+			pd, err := cover.PrimalDualCtx(ctx, h, nil)
+			if err == nil {
+				return check.ValidPrimalDual(h, nil, pd)
 			}
 			return err
 		}},

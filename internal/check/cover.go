@@ -1,6 +1,7 @@
 package check
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -131,6 +132,46 @@ func ValidPrimalDual(h *hypergraph.Hypergraph, weights []float64, r *cover.Prima
 		}
 	} else if r.Cover.Weight != 0 {
 		return fmt.Errorf("check: non-empty cover of weight %g for an edgeless hypergraph", r.Cover.Weight)
+	}
+	return nil
+}
+
+// CertifyPrimalDual is the differential oracle for cover.PrimalDual:
+// it runs the schema on (h, weights) and checks the full certificate —
+// structural validity and the Δ_F guarantee via ValidPrimalDual,
+// feasibility via cover.Verify, and the weak-duality sandwich against
+// the true optimum,
+//
+//	DualValue ≤ OPT ≤ Cover.Weight ≤ Δ_F · DualValue,
+//
+// with OPT from the branch-and-bound in cover.Exact.  maxNodes caps
+// the exact search (0 for its default); a capped search downgrades the
+// sandwich to inconclusive rather than failing, so the oracle stays
+// usable on fuzz inputs of unpredictable hardness.  h must have no
+// empty hyperedge (PrimalDual's only legitimate failure).
+func CertifyPrimalDual(h *hypergraph.Hypergraph, weights []float64, maxNodes int64) error {
+	r, err := cover.PrimalDual(h, weights)
+	if err != nil {
+		return fmt.Errorf("check: primal-dual failed: %w", err)
+	}
+	if err := ValidPrimalDual(h, weights, r); err != nil {
+		return err
+	}
+	if err := cover.Verify(h, r.Cover, nil); err != nil {
+		return fmt.Errorf("check: primal-dual cover infeasible: %w", err)
+	}
+	opt, err := cover.Exact(h, weights, maxNodes)
+	if errors.Is(err, cover.ErrSearchCapped) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("check: exact search failed: %w", err)
+	}
+	if r.DualValue > opt.Weight+floatEps(opt.Weight) {
+		return fmt.Errorf("check: dual value %g exceeds the optimum %g", r.DualValue, opt.Weight)
+	}
+	if opt.Weight > r.Cover.Weight+floatEps(r.Cover.Weight) {
+		return fmt.Errorf("check: optimum %g exceeds the primal-dual cover weight %g", opt.Weight, r.Cover.Weight)
 	}
 	return nil
 }

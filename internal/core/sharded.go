@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -27,10 +28,20 @@ import (
 // non-maximality detection is the reduction layer's snapshot checker
 // (reduce.go).
 //
-// All pin traversal goes through the flat CSR view (internal/csr) of
-// the input, and the exchange payloads are flat int32 ID slices over
-// that shared substrate — one entry per degree decrement — so a future
-// distributed engine can ship the outboxes as-is.
+// The shard-local peel state lives in the flat-array substrate: each
+// shard materializes its block as a csr.CSR (partition.MaterializeCSR)
+// plus the complementary remote-incidence rows (partition.RemoteEdges),
+// and all of its mutable int32 state — owned degrees, the lazy bucket
+// queue, the shrunk stamps, the frontier/shrunk/dying lists and the
+// outbox payloads — is carved from one arena per shard.  Instead of
+// rescanning every owned vertex per round, the frontier is gathered
+// from the bucket queue with the same lazy stale-skipping discipline as
+// csr/peel.go: a vertex is re-pushed on every degree decrement and
+// entries whose recorded degree went stale are dropped at pop time, so
+// the entry arena is bounded by |owned| plus the owned incidence count.
+// Exchange payloads are flat int32 ID slices over the shared substrate
+// — one entry per degree decrement — so a future distributed engine can
+// ship the outboxes as-is.
 
 // fpShardedWorker fires inside every sharded engine worker, so an
 // injected panic exercises the worker recovery boundary.
@@ -98,12 +109,68 @@ func ShardedDecomposeCtx(ctx context.Context, h *hypergraph.Hypergraph, opts Sha
 	return e.decompose()
 }
 
-// shardedEngine holds the engine state.  The slices indexed by vertex
-// or hyperedge are written only by the owning shard's phase; the
-// slices indexed by shard are written only by that shard.
+// shardPeel is one shard's peel state, all of it over the flat-array
+// substrate: the CSR block of owned∪frontier vertices and owned
+// hyperedges, the remote-incidence rows, and a single int32 arena
+// carved into the degree array, the lazy bucket queue, the shrunk
+// stamps, the frontier/shrunk/dying lists and the per-target outbox
+// payloads.  Owned vertices are addressed by their offset j in the
+// contiguous owned block: global ID lo+j, block-local ID olo+j.
+type shardPeel struct {
+	block *csr.CSR // owned∪frontier × owned hyperedges, with ID maps
+	lo    int32    // first owned global vertex ID
+	n     int32    // owned vertex count
+	olo   int32    // block-local ID of the first owned vertex
+
+	deg []int32 // current full degree per owned vertex, indexed by j
+
+	// Lazy bucket queue over the owned vertices: head[d] is the top
+	// entry index of the degree-d bucket, next links entries, item
+	// holds the owned offset of each entry.  A vertex is re-pushed on
+	// every decrement; stale entries are skipped at gather time.
+	head, next, item []int32
+	nfree            int32
+	cur              int // lowest possibly-non-empty bucket
+
+	stamp    []int32 // per owned local hyperedge: last round it shrank
+	frontier []int32 // owned offsets gathered below threshold this round
+	shrunk   []int32 // local hyperedge IDs shrunk this round
+	dying    []int32 // local hyperedge IDs found dead
+
+	// Remote incidence: rAdj[rOff[j]:rOff[j+1]] lists the foreign-owned
+	// hyperedges (global IDs) incident to owned vertex j.
+	rOff, rAdj []int32
+
+	// outV[t] carries vertex-degree decrements to vertex owner t,
+	// outE[t] hyperedge-degree decrements to edge owner t, both as
+	// flat global ID payloads (one entry per decrement).  Capacities
+	// are exact: every cut pin and every remote incidence fires at
+	// most once over the whole run.
+	outV, outE [][]int32
+
+	aliveV int
+}
+
+// push records that owned vertex j now has degree d.  Entries are
+// never removed eagerly; gathers skip entries whose recorded degree is
+// stale.
+func (p *shardPeel) push(j int32, d int) {
+	idx := p.nfree
+	p.nfree++
+	p.item[idx] = j
+	p.next[idx] = p.head[d]
+	p.head[d] = idx
+	if d < p.cur {
+		p.cur = d
+	}
+}
+
+// shardedEngine holds the engine state.  The global slices indexed by
+// vertex or hyperedge are written only by the owning shard's phase;
+// each shardPeel is written only by its own shard (outbox buffers by
+// the sending shard, drained by the receiver after a barrier).
 type shardedEngine struct {
-	h    *hypergraph.Hypergraph
-	c    *csr.CSR // flat view of h; all pin traversal goes through it
+	c    *csr.CSR // flat view of the full hypergraph
 	part *partition.Partition
 	//hyperplexvet:ignore ctxfirst scoped to one ShardedDecomposeCtx call; the phase methods all run under it
 	ctx     context.Context
@@ -112,21 +179,11 @@ type shardedEngine struct {
 	k       int // current peeling threshold
 
 	vAlive, eAlive []bool
-	vDeg, eDeg     []int32
+	eDeg           []int32 // global hyperedge degrees, for the snapshot checker
 	vCore, eCore   []int
-	aliveVShard    []int // alive owned vertices per shard
 
-	frontier [][]int32 // per shard: owned vertices below threshold
-	dying    [][]int32 // per shard: owned hyperedges found dead
-	shrunk   [][]int32 // per shard: owned hyperedges shrunk this round
-
-	shrunkStamp []int32 // last round each hyperedge was recorded shrunk
-	round       int32
-
-	// outV[s][t] carries vertex-degree decrements from shard s to
-	// vertex owner t; outE[s][t] hyperedge-degree decrements to edge
-	// owner t.  One entry is one decrement; buffers are reused.
-	outV, outE [][][]int32
+	peels []*shardPeel
+	round int32
 
 	scratches []*nonMaxScratch // one per worker
 	vAliveAt  func(int32) bool
@@ -138,40 +195,25 @@ func newShardedEngine(ctx context.Context, h *hypergraph.Hypergraph, part *parti
 	nv, ne := h.NumVertices(), h.NumEdges()
 	ns := part.NumShards()
 	e := &shardedEngine{
-		h:           h,
-		c:           csr.FromH(h),
-		part:        part,
-		ctx:         ctx,
-		meter:       run.MeterFrom(ctx),
-		workers:     workers,
-		vAlive:      make([]bool, nv),
-		eAlive:      make([]bool, ne),
-		vDeg:        make([]int32, nv),
-		eDeg:        make([]int32, ne),
-		vCore:       make([]int, nv),
-		eCore:       make([]int, ne),
-		aliveVShard: make([]int, ns),
-		frontier:    make([][]int32, ns),
-		dying:       make([][]int32, ns),
-		shrunk:      make([][]int32, ns),
-		shrunkStamp: make([]int32, ne),
-		outV:        make([][][]int32, ns),
-		outE:        make([][][]int32, ns),
-		scratches:   make([]*nonMaxScratch, workers),
+		c:         csr.FromH(h),
+		part:      part,
+		ctx:       ctx,
+		meter:     run.MeterFrom(ctx),
+		workers:   workers,
+		vAlive:    make([]bool, nv),
+		eAlive:    make([]bool, ne),
+		eDeg:      make([]int32, ne),
+		vCore:     make([]int, nv),
+		eCore:     make([]int, ne),
+		peels:     make([]*shardPeel, ns),
+		scratches: make([]*nonMaxScratch, workers),
 	}
 	for v := 0; v < nv; v++ {
 		e.vAlive[v] = true
-		e.vDeg[v] = int32(h.VertexDegree(v))
 	}
 	for f := 0; f < ne; f++ {
 		e.eAlive[f] = true
 		e.eDeg[f] = int32(h.EdgeDegree(f))
-		e.shrunkStamp[f] = -1
-	}
-	for s := range e.outV {
-		e.aliveVShard[s] = len(part.Shards[s].Vertices)
-		e.outV[s] = make([][]int32, ns)
-		e.outE[s] = make([][]int32, ns)
 	}
 	for i := range e.scratches {
 		e.scratches[i] = newNonMaxScratch(ne)
@@ -180,6 +222,93 @@ func newShardedEngine(ctx context.Context, h *hypergraph.Hypergraph, part *parti
 	e.eAliveAt = func(g int32) bool { return e.eAlive[g] }
 	e.eDegAt = func(g int32) int32 { return e.eDeg[g] }
 	return e
+}
+
+// setupShard materializes shard s's peel state: the CSR block, the
+// remote-incidence rows, and the arena carved into degrees, bucket
+// queue, stamps, work lists and outbox payloads.
+func (e *shardedEngine) setupShard(s, _ int) error {
+	sh := &e.part.Shards[s]
+	n := int32(len(sh.Vertices))
+	if err := run.Tick(e.ctx, e.meter, int64(n)+int64(sh.Pins)+1); err != nil {
+		return err
+	}
+	block := e.part.MaterializeCSR(s)
+	rOff, rAdj := e.part.RemoteEdges(s)
+	ne := int32(block.NumEdges())
+	ns := len(e.peels)
+
+	p := &shardPeel{block: block, n: n, aliveV: int(n)}
+	if n > 0 {
+		p.lo = sh.Vertices[0]
+		olo, _ := slices.BinarySearch(block.VertexID, p.lo)
+		p.olo = int32(olo)
+	}
+
+	// Exact arena accounting.  ownedInc bounds the bucket entries (one
+	// initial push per owned vertex plus one per degree decrement, at
+	// most one per incidence); the outbox capacities count the cut pins
+	// and remote incidences per target, each of which sends at most one
+	// decrement over the whole run.
+	maxDeg := int32(0)
+	ownedInc := int32(0)
+	for j := int32(0); j < n; j++ {
+		d := e.c.VertexDegree(p.lo + j)
+		if d > maxDeg {
+			maxDeg = d
+		}
+		ownedInc += d
+	}
+	vcnt := make([]int32, ns)
+	for _, w := range block.EAdj {
+		if j := w - p.olo; j < 0 || j >= n {
+			vcnt[e.part.VertexOwner[block.VertexID[w]]]++
+		}
+	}
+	ecnt := make([]int32, ns)
+	for _, g := range rAdj {
+		ecnt[e.part.EdgeOwner[g]]++
+	}
+	vout, eout := int32(0), int32(len(rAdj))
+	for _, c := range vcnt {
+		vout += c
+	}
+
+	entries := n + ownedInc
+	arena := make([]int32, n+(maxDeg+1)+2*entries+3*ne+n+vout+eout)
+	carve := func(sz int32) []int32 {
+		s := arena[:sz:sz]
+		arena = arena[sz:]
+		return s
+	}
+	p.deg = carve(n)
+	p.head = carve(maxDeg + 1)
+	p.next = carve(entries)
+	p.item = carve(entries)
+	p.stamp = carve(ne)
+	p.frontier = carve(n)[:0]
+	p.shrunk = carve(ne)[:0]
+	p.dying = carve(ne)[:0]
+	p.outV = make([][]int32, ns)
+	p.outE = make([][]int32, ns)
+	for t := 0; t < ns; t++ {
+		p.outV[t] = carve(vcnt[t])[:0]
+		p.outE[t] = carve(ecnt[t])[:0]
+	}
+	p.rOff, p.rAdj = rOff, rAdj
+
+	for i := range p.head {
+		p.head[i] = -1
+	}
+	for i := range p.stamp {
+		p.stamp[i] = -1
+	}
+	for j := int32(0); j < n; j++ {
+		p.deg[j] = e.c.VertexDegree(p.lo + j)
+		p.push(j, int(p.deg[j]))
+	}
+	e.peels[s] = p
+	return nil
 }
 
 // forEachShard runs fn(s, worker) over every shard, split across the
@@ -256,83 +385,105 @@ func (e *shardedEngine) clampCore() int {
 }
 
 // applyDying retires shard s's dying hyperedges and decrements the
-// degrees of their alive members — owned directly, foreign through the
-// vertex outboxes.
+// degrees of their alive members — owned directly (re-pushing them at
+// their new bucket), foreign through the vertex outboxes.
 func (e *shardedEngine) applyDying(s, _ int) error {
-	list := e.dying[s]
-	if err := run.Tick(e.ctx, e.meter, int64(len(list))+1); err != nil {
+	p := e.peels[s]
+	if err := run.Tick(e.ctx, e.meter, int64(len(p.dying))+1); err != nil {
 		return err
 	}
-	for _, f := range list {
-		e.eAlive[f] = false
-		e.eCore[f] = e.clampCore()
-		for _, v := range e.c.EdgeVertices(f) {
-			if !e.vAlive[v] {
-				continue
-			}
-			if t := e.part.VertexOwner[v]; int(t) == s {
-				e.vDeg[v]--
+	for _, fi := range p.dying {
+		g := p.block.EdgeID[fi]
+		e.eAlive[g] = false
+		e.eCore[g] = e.clampCore()
+		for _, w := range p.block.EdgeVertices(fi) {
+			if j := w - p.olo; j >= 0 && j < p.n {
+				if e.vAlive[p.lo+j] {
+					p.deg[j]--
+					p.push(j, int(p.deg[j]))
+				}
 			} else {
-				e.outV[s][t] = append(e.outV[s][t], v)
+				vg := p.block.VertexID[w]
+				if e.vAlive[vg] {
+					t := e.part.VertexOwner[vg]
+					p.outV[t] = append(p.outV[t], vg)
+				}
 			}
 		}
 	}
 	return nil
 }
 
-// drainAndGather applies shard s's vertex inbox and gathers its
-// frontier: owned alive vertices whose degree fell below the
-// threshold.
+// drainAndGather applies shard s's vertex inbox, then gathers its
+// frontier from the bucket queue: every bucket below the threshold is
+// drained, keeping the entries whose recorded degree is still current
+// (each alive owned vertex below the threshold has exactly one such
+// entry, pushed by its last decrement).
 func (e *shardedEngine) drainAndGather(s, _ int) error {
-	owned := e.part.Shards[s].Vertices
-	n := len(owned)
-	for src := range e.outV {
-		n += len(e.outV[src][s])
-	}
-	if err := run.Tick(e.ctx, e.meter, int64(n)+1); err != nil {
-		return err
-	}
-	for src := range e.outV {
-		buf := e.outV[src][s]
-		for _, v := range buf {
-			e.vDeg[v]--
+	p := e.peels[s]
+	inbox := 0
+	for src := range e.peels {
+		buf := e.peels[src].outV[s]
+		inbox += len(buf)
+		for _, vg := range buf {
+			j := vg - p.lo
+			p.deg[j]--
+			p.push(j, int(p.deg[j]))
 		}
-		e.outV[src][s] = buf[:0]
+		e.peels[src].outV[s] = buf[:0]
 	}
-	e.frontier[s] = e.frontier[s][:0]
-	for _, v := range owned {
-		if e.vAlive[v] && e.vDeg[v] < int32(e.k) {
-			e.frontier[s] = append(e.frontier[s], v)
+	p.frontier = p.frontier[:0]
+	pops := 0
+	top := e.k
+	if top > len(p.head) {
+		top = len(p.head)
+	}
+	for d := p.cur; d < top; d++ {
+		for idx := p.head[d]; idx != -1; idx = p.next[idx] {
+			pops++
+			j := p.item[idx]
+			if e.vAlive[p.lo+j] && int(p.deg[j]) == d {
+				p.frontier = append(p.frontier, j)
+			}
 		}
+		p.head[d] = -1
 	}
-	return nil
+	if p.cur < top {
+		p.cur = top
+	}
+	return run.Tick(e.ctx, e.meter, int64(inbox+pops)+1)
 }
 
 // retireAndShrink retires shard s's frontier vertices and shrinks
-// their alive hyperedges — owned directly (recording them for the
-// re-check), foreign through the hyperedge outboxes.
+// their alive hyperedges — owned through the block rows (recording
+// first-shrink stamps for the re-check), foreign through the remote
+// rows into the hyperedge outboxes.
 func (e *shardedEngine) retireAndShrink(s, _ int) error {
-	list := e.frontier[s]
-	if err := run.Tick(e.ctx, e.meter, int64(len(list))+1); err != nil {
+	p := e.peels[s]
+	if err := run.Tick(e.ctx, e.meter, int64(len(p.frontier))+1); err != nil {
 		return err
 	}
-	e.shrunk[s] = e.shrunk[s][:0]
-	for _, v := range list {
-		e.vAlive[v] = false
-		e.vCore[v] = e.clampCore()
-		e.aliveVShard[s]--
-		for _, f := range e.c.VertexEdges(v) {
-			if !e.eAlive[f] {
+	p.shrunk = p.shrunk[:0]
+	for _, j := range p.frontier {
+		vg := p.lo + j
+		e.vAlive[vg] = false
+		e.vCore[vg] = e.clampCore()
+		p.aliveV--
+		for _, fi := range p.block.VertexEdges(p.olo + j) {
+			g := p.block.EdgeID[fi]
+			if !e.eAlive[g] {
 				continue
 			}
-			if t := e.part.EdgeOwner[f]; int(t) == s {
-				e.eDeg[f]--
-				if e.shrunkStamp[f] != e.round {
-					e.shrunkStamp[f] = e.round
-					e.shrunk[s] = append(e.shrunk[s], f)
-				}
-			} else {
-				e.outE[s][t] = append(e.outE[s][t], f)
+			e.eDeg[g]--
+			if p.stamp[fi] != e.round {
+				p.stamp[fi] = e.round
+				p.shrunk = append(p.shrunk, fi)
+			}
+		}
+		for _, g := range p.rAdj[p.rOff[j]:p.rOff[j+1]] {
+			if e.eAlive[g] {
+				t := e.part.EdgeOwner[g]
+				p.outE[t] = append(p.outE[t], g)
 			}
 		}
 	}
@@ -344,23 +495,25 @@ func (e *shardedEngine) retireAndShrink(s, _ int) error {
 // hyperedges, so every inbox must be fully applied — barrier between —
 // before any shard starts checking.
 func (e *shardedEngine) drainEdges(s, _ int) error {
+	p := e.peels[s]
 	n := 0
-	for src := range e.outE {
-		n += len(e.outE[src][s])
+	for src := range e.peels {
+		n += len(e.peels[src].outE[s])
 	}
 	if err := run.Tick(e.ctx, e.meter, int64(n)+1); err != nil {
 		return err
 	}
-	for src := range e.outE {
-		buf := e.outE[src][s]
-		for _, f := range buf {
-			e.eDeg[f]--
-			if e.shrunkStamp[f] != e.round {
-				e.shrunkStamp[f] = e.round
-				e.shrunk[s] = append(e.shrunk[s], f)
+	for src := range e.peels {
+		buf := e.peels[src].outE[s]
+		for _, g := range buf {
+			e.eDeg[g]--
+			fi, _ := slices.BinarySearch(p.block.EdgeID, g)
+			if p.stamp[fi] != e.round {
+				p.stamp[fi] = e.round
+				p.shrunk = append(p.shrunk, int32(fi))
 			}
 		}
-		e.outE[src][s] = buf[:0]
+		e.peels[src].outE[s] = buf[:0]
 	}
 	return nil
 }
@@ -368,49 +521,70 @@ func (e *shardedEngine) drainEdges(s, _ int) error {
 // checkShrunk re-checks every owned hyperedge that shrank this round
 // for emptiness or non-maximality, refilling the shard's dying list.
 func (e *shardedEngine) checkShrunk(s, worker int) error {
-	return e.checkShard(s, worker, e.shrunk[s])
-}
-
-// checkShard refills shard s's dying list with the candidates that
-// are empty or non-maximal against the current stable snapshot.
-func (e *shardedEngine) checkShard(s, worker int, cand []int32) error {
-	if err := run.Tick(e.ctx, e.meter, int64(len(cand))+1); err != nil {
+	p := e.peels[s]
+	if err := run.Tick(e.ctx, e.meter, int64(len(p.shrunk))+1); err != nil {
 		return err
 	}
 	scratch := e.scratches[worker]
-	e.dying[s] = e.dying[s][:0]
-	for _, f := range cand {
-		df := e.eDeg[f]
-		if df == 0 || scratch.NonMaximal(e.c, f, df, e.vAliveAt, e.eAliveAt, e.eDegAt) {
-			e.dying[s] = append(e.dying[s], f)
+	p.dying = p.dying[:0]
+	for _, fi := range p.shrunk {
+		if e.checkDead(p, scratch, fi) {
+			p.dying = append(p.dying, fi)
 		}
 	}
 	return nil
+}
+
+// checkInitial is round 0's reduction: every owned hyperedge is
+// checked, so empty and initially non-maximal hyperedges die at
+// coreness 0.
+func (e *shardedEngine) checkInitial(s, worker int) error {
+	p := e.peels[s]
+	ne := int32(p.block.NumEdges())
+	if err := run.Tick(e.ctx, e.meter, int64(ne)+1); err != nil {
+		return err
+	}
+	scratch := e.scratches[worker]
+	p.dying = p.dying[:0]
+	for fi := int32(0); fi < ne; fi++ {
+		if e.checkDead(p, scratch, fi) {
+			p.dying = append(p.dying, fi)
+		}
+	}
+	return nil
+}
+
+// checkDead reports whether owned local hyperedge fi is empty or
+// non-maximal against the current stable global snapshot.
+func (e *shardedEngine) checkDead(p *shardPeel, scratch *nonMaxScratch, fi int32) bool {
+	g := p.block.EdgeID[fi]
+	df := e.eDeg[g]
+	return df == 0 || scratch.NonMaximal(e.c, g, df, e.vAliveAt, e.eAliveAt, e.eDegAt)
 }
 
 // decompose runs the level loop: like Decompose, it raises the
 // threshold one level at a time, carrying all peeling state across
 // levels, but peels each level in bulk-synchronous rounds.
 func (e *shardedEngine) decompose() (*Decomposition, error) {
+	if err := e.forEachShard(e.setupShard); err != nil {
+		return nil, err
+	}
 	// Round 0: the initial reduction checks every hyperedge.
-	err := e.forEachShard(func(s, worker int) error {
-		return e.checkShard(s, worker, e.part.Shards[s].Edges)
-	})
-	if err != nil {
+	if err := e.forEachShard(e.checkInitial); err != nil {
 		return nil, err
 	}
 
 	aliveV := 0
-	for _, n := range e.aliveVShard {
-		aliveV += n
+	for _, p := range e.peels {
+		aliveV += p.aliveV
 	}
 	maxK := 0
 	for k := 1; aliveV > 0; k++ {
 		e.k = k
 		for {
 			dyingTotal := 0
-			for _, d := range e.dying {
-				dyingTotal += len(d)
+			for _, p := range e.peels {
+				dyingTotal += len(p.dying)
 			}
 			if err := e.forEachShard(e.applyDying); err != nil {
 				return nil, err
@@ -422,8 +596,8 @@ func (e *shardedEngine) decompose() (*Decomposition, error) {
 				return nil, err
 			}
 			frontierTotal := 0
-			for _, fr := range e.frontier {
-				frontierTotal += len(fr)
+			for _, p := range e.peels {
+				frontierTotal += len(p.frontier)
 			}
 			if frontierTotal == 0 && dyingTotal == 0 {
 				break // level fixpoint: every alive vertex has degree ≥ k
@@ -443,8 +617,8 @@ func (e *shardedEngine) decompose() (*Decomposition, error) {
 			}
 		}
 		aliveV = 0
-		for _, n := range e.aliveVShard {
-			aliveV += n
+		for _, p := range e.peels {
+			aliveV += p.aliveV
 		}
 		if aliveV > 0 {
 			maxK = k

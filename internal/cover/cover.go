@@ -91,6 +91,55 @@ func UniformRequirement(h *hypergraph.Hypergraph, r int) []int {
 	return req
 }
 
+// checkWeights substitutes unit weights for nil and validates that
+// every weight is positive and finite.  Shared by the map kernel, the
+// CSR kernel and the primal-dual schema so all three reject invalid
+// input with identical errors.
+func checkWeights(h *hypergraph.Hypergraph, weights []float64) ([]float64, error) {
+	if weights == nil {
+		weights = UnitWeights(h)
+	}
+	if len(weights) != h.NumVertices() {
+		return nil, fmt.Errorf("cover: %d weights for %d vertices", len(weights), h.NumVertices())
+	}
+	for v, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("cover: weight of vertex %d is %v; weights must be positive and finite", v, w)
+		}
+	}
+	return weights, nil
+}
+
+// fillRequirements validates req (nil means a requirement of 1
+// everywhere) and writes the outstanding per-hyperedge counts into
+// remaining, which the caller sizes to h.NumEdges() — the CSR kernel
+// hands in an arena slice, the map kernel a fresh one.  It returns the
+// number of hyperedges with a positive requirement.
+func fillRequirements(h *hypergraph.Hypergraph, req []int, remaining []int32) (int, error) {
+	unmet := 0
+	for f := range remaining {
+		r := 1
+		if req != nil {
+			r = req[f]
+		}
+		if r < 0 {
+			return 0, fmt.Errorf("cover: negative requirement %d for hyperedge %d", r, f)
+		}
+		if r > h.EdgeDegree(f) {
+			name := h.EdgeName(f)
+			if name == "" {
+				name = fmt.Sprintf("f%d", f)
+			}
+			return 0, fmt.Errorf("cover: hyperedge %s has %d vertices but requirement %d", name, h.EdgeDegree(f), r)
+		}
+		remaining[f] = int32(r)
+		if r > 0 {
+			unmet++
+		}
+	}
+	return unmet, nil
+}
+
 // heap of candidate vertices keyed by last-known cost; stale entries
 // are re-costed lazily at pop time (valid because a vertex's cost only
 // increases as hyperedges become covered).
@@ -170,38 +219,14 @@ func GreedyMulticoverCtx(ctx context.Context, h *hypergraph.Hypergraph, weights 
 		return nil, err
 	}
 	nv, ne := h.NumVertices(), h.NumEdges()
-	if weights == nil {
-		weights = UnitWeights(h)
+	weights, err := checkWeights(h, weights)
+	if err != nil {
+		return nil, err
 	}
-	if len(weights) != nv {
-		return nil, fmt.Errorf("cover: %d weights for %d vertices", len(weights), nv)
-	}
-	for v, w := range weights {
-		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			return nil, fmt.Errorf("cover: weight of vertex %d is %v; weights must be positive and finite", v, w)
-		}
-	}
-	remaining := make([]int, ne)
-	unmet := 0
-	for f := 0; f < ne; f++ {
-		r := 1
-		if req != nil {
-			r = req[f]
-		}
-		if r < 0 {
-			return nil, fmt.Errorf("cover: negative requirement %d for hyperedge %d", r, f)
-		}
-		if r > h.EdgeDegree(f) {
-			name := h.EdgeName(f)
-			if name == "" {
-				name = fmt.Sprintf("f%d", f)
-			}
-			return nil, fmt.Errorf("cover: hyperedge %s has %d vertices but requirement %d", name, h.EdgeDegree(f), r)
-		}
-		remaining[f] = r
-		if r > 0 {
-			unmet++
-		}
+	remaining := make([]int32, ne)
+	unmet, err := fillRequirements(h, req, remaining)
+	if err != nil {
+		return nil, err
 	}
 
 	// gain(v) = number of adjacent hyperedges with unmet requirement.
@@ -265,6 +290,16 @@ func GreedyMulticoverCtx(ctx context.Context, h *hypergraph.Hypergraph, weights 
 					unmet--
 				}
 			}
+		}
+	}
+	// The final sub-checkEvery batch of pops never reached a periodic
+	// checkpoint; charge it so every pop is metered exactly once.
+	if pops > 0 {
+		if err := failpoint.Inject(fpGreedyPop); err != nil {
+			return nil, err
+		}
+		if err := run.Tick(ctx, meter, int64(pops)); err != nil {
+			return nil, err
 		}
 	}
 	return c, nil

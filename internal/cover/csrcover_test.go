@@ -1,0 +1,271 @@
+// Tests pinning the CSR cover kernel to the map kernel (exact equality
+// including selection order), the exact step accounting of the cover
+// budgets, the relative tightness tolerance of the primal-dual schema,
+// and the CertifyPrimalDual oracle over the sweep.
+package cover_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"testing"
+
+	"hyperplex/internal/check"
+	"hyperplex/internal/cover"
+	"hyperplex/internal/dataset"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/run"
+)
+
+// sameCover fails unless the two covers are identical: same selection
+// order, same membership, and bitwise-equal weight (both kernels
+// accumulate the sum in the same order).
+func sameCover(t *testing.T, label string, want, got *cover.Cover) {
+	t.Helper()
+	if !slices.Equal(want.Vertices, got.Vertices) {
+		t.Fatalf("%s: selection order differs:\nmap %v\ncsr %v", label, want.Vertices, got.Vertices)
+	}
+	if !slices.Equal(want.InCover, got.InCover) {
+		t.Fatalf("%s: membership differs", label)
+	}
+	if want.Weight != got.Weight {
+		t.Fatalf("%s: weight differs: map %v, csr %v", label, want.Weight, got.Weight)
+	}
+}
+
+// TestDifferentialCSRGreedyMulticover pins CSRGreedyMulticover to the
+// map kernel over the sweep and Cellzome: exact cover equality — same
+// vertices in the same tie-break order — for unit and degree² weights,
+// plain covering and requirement 2, including identical errors on
+// infeasible input.
+func TestDifferentialCSRGreedyMulticover(t *testing.T) {
+	instances := append(check.Instances(58, 0xC0FE7), dataset.Cellzome().H)
+	for i, h := range instances {
+		for _, weighted := range []bool{false, true} {
+			var w []float64
+			if weighted {
+				w = cover.DegreeSquaredWeights(h)
+			}
+			for _, multi := range []bool{false, true} {
+				var req []int
+				if multi {
+					req = feasibleReq(h, 2)
+				}
+				label := fmt.Sprintf("instance %d %v (weighted=%v multi=%v)", i, h, weighted, multi)
+				want, wantErr := cover.GreedyMulticover(h, w, req)
+				got, gotErr := cover.CSRGreedyMulticover(h, w, req)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("%s: map err %v, csr err %v", label, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					if wantErr.Error() != gotErr.Error() {
+						t.Fatalf("%s: errors differ:\nmap %v\ncsr %v", label, wantErr, gotErr)
+					}
+					continue
+				}
+				sameCover(t, label, want, got)
+				if err := check.ValidCover(h, got, w, req); err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+			}
+		}
+	}
+}
+
+// chainH builds the two-vertex instance e1{a}, e2{a,b}, e3{b}, whose
+// greedy run is small enough to trace by hand: pop a (select), pop b
+// (stale, re-push), pop b (select) — exactly three heap pops.
+func chainH(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	b.AddEdge("e1", "a")
+	b.AddEdge("e2", "a", "b")
+	b.AddEdge("e3", "b")
+	return b.MustBuild()
+}
+
+// TestGreedyBudgetExactAccounting asserts that the greedy kernels meter
+// every heap pop exactly once, including the final sub-checkEvery batch
+// that the pre-fix code dropped (small instances used to report zero
+// steps).
+func TestGreedyBudgetExactAccounting(t *testing.T) {
+	kernels := []struct {
+		name string
+		run  func(ctx context.Context, h *hypergraph.Hypergraph) (*cover.Cover, error)
+	}{
+		{"map", func(ctx context.Context, h *hypergraph.Hypergraph) (*cover.Cover, error) {
+			return cover.GreedyMulticoverCtx(ctx, h, nil, nil)
+		}},
+		{"csr", func(ctx context.Context, h *hypergraph.Hypergraph) (*cover.Cover, error) {
+			return cover.CSRGreedyMulticoverCtx(ctx, h, nil, nil)
+		}},
+	}
+	single := hypergraph.NewBuilder()
+	single.AddEdge("e", "a")
+	cases := []struct {
+		name  string
+		h     *hypergraph.Hypergraph
+		steps int64 // hand-counted heap pops
+	}{
+		{"single-edge", single.MustBuild(), 1},
+		{"chain", chainH(t), 3},
+	}
+	for _, kern := range kernels {
+		for _, tc := range cases {
+			ctx, meter := run.WithBudget(context.Background(), run.Budget{})
+			c, err := kern.run(ctx, tc.h)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kern.name, tc.name, err)
+			}
+			if got := meter.Steps(); got != tc.steps {
+				t.Errorf("%s/%s: metered %d steps, hand count is %d", kern.name, tc.name, got, tc.steps)
+			}
+			if int64(len(c.Vertices)) > meter.Steps() {
+				t.Errorf("%s/%s: %d selections cannot outnumber %d pops", kern.name, tc.name, len(c.Vertices), meter.Steps())
+			}
+		}
+	}
+	// Both kernels over the sweep: identical pop counts (same selection
+	// trace), never fewer pops than selections, never zero on non-empty
+	// work.
+	for i, h := range check.Instances(30, 0xC0FE9) {
+		ctxM, meterM := run.WithBudget(context.Background(), run.Budget{})
+		cM, errM := cover.GreedyMulticoverCtx(ctxM, h, nil, feasibleReq(h, 1))
+		ctxC, meterC := run.WithBudget(context.Background(), run.Budget{})
+		cC, errC := cover.CSRGreedyMulticoverCtx(ctxC, h, nil, feasibleReq(h, 1))
+		if errM != nil || errC != nil {
+			t.Fatalf("instance %d %v: map err %v, csr err %v", i, h, errM, errC)
+		}
+		if meterM.Steps() != meterC.Steps() {
+			t.Errorf("instance %d %v: map metered %d, csr %d", i, h, meterM.Steps(), meterC.Steps())
+		}
+		if int64(len(cM.Vertices)) > meterM.Steps() {
+			t.Errorf("instance %d %v: %d selections, only %d pops metered", i, h, len(cM.Vertices), meterM.Steps())
+		}
+		if len(cC.Vertices) > 0 && meterC.Steps() == 0 {
+			t.Errorf("instance %d %v: non-empty cover with zero metered steps", i, h)
+		}
+	}
+	// A budget the residual flush must trip: the chain instance needs 3
+	// pops, so MaxSteps 2 fails even though no periodic checkpoint fires.
+	for _, kern := range kernels {
+		ctx, _ := run.WithBudget(context.Background(), run.Budget{MaxSteps: 2})
+		c, err := kern.run(ctx, chainH(t))
+		if !errors.Is(err, run.ErrBudgetExceeded) {
+			t.Errorf("%s: MaxSteps 2 on a 3-pop instance: got cover %v, err %v", kern.name, c, err)
+		}
+	}
+}
+
+// TestPrimalDualStepAccounting asserts one metered step per hyperedge
+// scanned, residual batch included.
+func TestPrimalDualStepAccounting(t *testing.T) {
+	h := chainH(t)
+	ctx, meter := run.WithBudget(context.Background(), run.Budget{})
+	if _, err := cover.PrimalDualCtx(ctx, h, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := meter.Steps(); got != int64(h.NumEdges()) {
+		t.Errorf("metered %d steps for %d hyperedges", got, h.NumEdges())
+	}
+	ctx, _ = run.WithBudget(context.Background(), run.Budget{MaxSteps: 1})
+	if _, err := cover.PrimalDualCtx(ctx, h, nil); !errors.Is(err, run.ErrBudgetExceeded) {
+		t.Errorf("MaxSteps 1 over 3 hyperedges: err %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cover.PrimalDualCtx(ctx, h, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context: err %v", err)
+	}
+}
+
+// TestPrimalDualTinyWeights is the regression test for the absolute
+// tightness tolerance: with every weight at or below the old 1e-12
+// cutoff, the first raise used to tighten every member and the cover
+// degenerated to near-everything.
+func TestPrimalDualTinyWeights(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddEdge("f", "a", "b", "c")
+	h := b.MustBuild()
+	pd, err := cover.PrimalDual(h, []float64{1e-13, 2e-13, 3e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.ValidPrimalDual(h, []float64{1e-13, 2e-13, 3e-13}, pd); err != nil {
+		t.Fatal(err)
+	}
+	// Only the cheapest member goes tight; the raise leaves b and c
+	// with slack far above their relative tolerance.
+	if len(pd.Cover.Vertices) != 1 || pd.Cover.Vertices[0] != 0 {
+		t.Fatalf("cover is %v, want just vertex 0 (a)", pd.Cover.Vertices)
+	}
+
+	// Mixed magnitudes: the 1e-15 member is the unique minimum; the
+	// 5e-13 member retains ~all of its slack and must stay out.
+	b = hypergraph.NewBuilder()
+	b.AddEdge("f", "a", "b")
+	h = b.MustBuild()
+	pd, err = cover.PrimalDual(h, []float64{1e-15, 5e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pd.Cover.Vertices) != 1 || pd.Cover.Vertices[0] != 0 {
+		t.Fatalf("mixed magnitudes: cover is %v, want just vertex 0", pd.Cover.Vertices)
+	}
+}
+
+// TestPrimalDualScaleInvariance checks that scaling all weights by a
+// power of two (exact in float64) leaves the chosen cover identical —
+// the property the absolute tolerance broke.
+func TestPrimalDualScaleInvariance(t *testing.T) {
+	const scale = 0x1p-40
+	for i, h := range check.Instances(30, 0xC0FEA) {
+		if hasEmptyEdge(h) {
+			continue
+		}
+		w := cover.DegreeSquaredWeights(h)
+		scaled := make([]float64, len(w))
+		for v := range w {
+			scaled[v] = w[v] * scale
+		}
+		base, err := cover.PrimalDual(h, w)
+		if err != nil {
+			t.Fatalf("instance %d %v: %v", i, h, err)
+		}
+		tiny, err := cover.PrimalDual(h, scaled)
+		if err != nil {
+			t.Fatalf("instance %d %v: %v", i, h, err)
+		}
+		if !slices.Equal(base.Cover.Vertices, tiny.Cover.Vertices) {
+			t.Fatalf("instance %d %v: cover changed under 2^-40 weight scaling:\nbase %v\ntiny %v",
+				i, h, base.Cover.Vertices, tiny.Cover.Vertices)
+		}
+	}
+}
+
+// TestCertifyPrimalDualSweep wires the CertifyPrimalDual oracle into
+// the sweep: feasibility plus the weak-duality sandwich
+// DualValue ≤ OPT ≤ Cover.Weight ≤ Δ_F·DualValue against the exact
+// optimum, for unit and degree² weights.
+func TestCertifyPrimalDualSweep(t *testing.T) {
+	for i, h := range check.Instances(58, 0xC0FEB) {
+		if hasEmptyEdge(h) {
+			continue
+		}
+		for _, weighted := range []bool{false, true} {
+			var w []float64
+			if weighted {
+				w = cover.DegreeSquaredWeights(h)
+			}
+			if err := check.CertifyPrimalDual(h, w, 200_000); err != nil {
+				t.Fatalf("instance %d %v (weighted=%v): %v", i, h, weighted, err)
+			}
+		}
+	}
+	for i, h := range tinyInstances(40, 0xC0FEC) {
+		if err := check.CertifyPrimalDual(h, nil, 200_000); err != nil {
+			t.Fatalf("tiny %d %v: %v", i, h, err)
+		}
+	}
+}

@@ -1,12 +1,19 @@
 package cover
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"hyperplex/internal/hypergraph"
 )
+
+// ErrSearchCapped reports that Exact exhausted its node cap before
+// proving optimality.  Callers that treat a capped search as
+// "inconclusive" rather than fatal (the differential oracles) test for
+// it with errors.Is.
+var ErrSearchCapped = errors.New("cover: exact search capped")
 
 // Exact computes an optimal minimum-weight vertex cover by
 // branch-and-bound: branch on an uncovered hyperedge (one branch per
@@ -122,7 +129,7 @@ func Exact(h *hypergraph.Hypergraph, weights []float64, maxNodes int64) (*Cover,
 	}
 	dfs(0, 0)
 	if capped {
-		return nil, fmt.Errorf("cover: Exact hit the %d-node search cap before proving optimality", maxNodes)
+		return nil, fmt.Errorf("%w: hit the %d-node cap before proving optimality", ErrSearchCapped, maxNodes)
 	}
 
 	c := &Cover{InCover: best, Weight: bestW}

@@ -1,6 +1,7 @@
 package cover
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -59,10 +60,16 @@ func TestExactEmptyEdge(t *testing.T) {
 }
 
 func TestExactNodeCap(t *testing.T) {
-	// A cap of 1 node cannot prove optimality on a nontrivial instance.
+	// A cap of 1 node cannot prove optimality on a nontrivial instance,
+	// and the failure must carry the ErrSearchCapped sentinel so the
+	// differential oracles can treat it as inconclusive.
 	h := triangleH(t)
-	if _, err := Exact(h, nil, 1); err == nil {
-		t.Error("Exact with 1-node cap should fail")
+	_, err := Exact(h, nil, 1)
+	if err == nil {
+		t.Fatal("Exact with 1-node cap should fail")
+	}
+	if !errors.Is(err, ErrSearchCapped) {
+		t.Errorf("cap error %v does not wrap ErrSearchCapped", err)
 	}
 }
 

@@ -1,11 +1,25 @@
 package cover
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"hyperplex/internal/failpoint"
 	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/run"
 )
+
+// fpPrimalDualScan fires on every checkpoint of the primal-dual
+// hyperedge scan.
+var fpPrimalDualScan = failpoint.Register("cover.primaldual.scan")
+
+// tightRelTol decides when a vertex's remaining slack counts as zero:
+// the test is relative to the vertex's own weight, so instances whose
+// weights all sit at (say) 1e-13 scale behave exactly like their
+// scaled-up copies instead of every member going tight on the first
+// raise.
+const tightRelTol = 1e-12
 
 // PrimalDualResult is the outcome of the primal-dual cover algorithm:
 // a feasible cover together with a feasible dual solution whose value
@@ -46,17 +60,21 @@ func (r *PrimalDualResult) ApproxRatio() float64 {
 // the greedy's H_m bound; the paper notes for the yeast complex data
 // (Δ_F large) greedy's bound is better — experiment X2 compares them.
 func PrimalDual(h *hypergraph.Hypergraph, weights []float64) (*PrimalDualResult, error) {
+	return PrimalDualCtx(context.Background(), h, weights)
+}
+
+// PrimalDualCtx is PrimalDual honoring cancellation, deadline and any
+// run.Budget attached to ctx (one step per hyperedge scanned, checked
+// at bounded intervals).  On cancellation or budget exhaustion it
+// returns (nil, err): a half-raised dual does not certify anything.
+func PrimalDualCtx(ctx context.Context, h *hypergraph.Hypergraph, weights []float64) (*PrimalDualResult, error) {
+	if err := run.Tick(ctx, run.MeterFrom(ctx), 0); err != nil {
+		return nil, err
+	}
 	nv, ne := h.NumVertices(), h.NumEdges()
-	if weights == nil {
-		weights = UnitWeights(h)
-	}
-	if len(weights) != nv {
-		return nil, fmt.Errorf("cover: %d weights for %d vertices", len(weights), nv)
-	}
-	for v, w := range weights {
-		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			return nil, fmt.Errorf("cover: weight of vertex %d is %v; weights must be positive and finite", v, w)
-		}
+	weights, err := checkWeights(h, weights)
+	if err != nil {
+		return nil, err
 	}
 	slack := append([]float64(nil), weights...)
 	y := make([]float64, ne)
@@ -64,7 +82,18 @@ func PrimalDual(h *hypergraph.Hypergraph, weights []float64) (*PrimalDualResult,
 	covered := make([]bool, ne)
 	dualValue := 0.0
 
+	meter := run.MeterFrom(ctx)
+	ops := 0
 	for f := 0; f < ne; f++ {
+		if ops++; ops >= greedyCheckEvery {
+			if err := failpoint.Inject(fpPrimalDualScan); err != nil {
+				return nil, err
+			}
+			if err := run.Tick(ctx, meter, int64(ops)); err != nil {
+				return nil, err
+			}
+			ops = 0
+		}
 		if covered[f] {
 			continue
 		}
@@ -93,7 +122,7 @@ func PrimalDual(h *hypergraph.Hypergraph, weights []float64) (*PrimalDualResult,
 				continue
 			}
 			slack[v] -= min
-			if slack[v] <= 1e-12 {
+			if slack[v] <= tightRelTol*weights[v] {
 				c.InCover[v] = true
 				c.Vertices = append(c.Vertices, v)
 				c.Weight += weights[v]
@@ -101,6 +130,16 @@ func PrimalDual(h *hypergraph.Hypergraph, weights []float64) (*PrimalDualResult,
 					covered[g] = true
 				}
 			}
+		}
+	}
+	// Charge the final sub-checkEvery batch of scans so every hyperedge
+	// is metered exactly once.
+	if ops > 0 {
+		if err := failpoint.Inject(fpPrimalDualScan); err != nil {
+			return nil, err
+		}
+		if err := run.Tick(ctx, meter, int64(ops)); err != nil {
+			return nil, err
 		}
 	}
 	return &PrimalDualResult{Cover: c, Dual: y, DualValue: dualValue}, nil

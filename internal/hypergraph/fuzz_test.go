@@ -6,12 +6,14 @@ package hypergraph_test
 import (
 	"context"
 	"errors"
+	"slices"
 	"strings"
 	"testing"
 	"unicode/utf8"
 
 	"hyperplex/internal/check"
 	"hyperplex/internal/core"
+	"hyperplex/internal/cover"
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/run"
 )
@@ -20,6 +22,16 @@ import (
 // sequential-vs-sharded decomposition cross-check, so the fuzzer's
 // throughput stays dominated by the parser, not the peeler.
 const fuzzCorePins = 400
+
+// fuzzCoverPins caps the size of parsed hypergraphs that get the cover
+// cross-checks: the greedy map-vs-CSR equality is cheap, but the
+// primal–dual certificate runs an exact branch-and-bound search, so the
+// cap is tighter than fuzzCorePins.
+const fuzzCoverPins = 120
+
+// fuzzCertifyNodes caps the exact search inside the primal–dual
+// certificate; a capped search reports inconclusive, not failure.
+const fuzzCertifyNodes = 20_000
 
 // FuzzReadText feeds arbitrary bytes to the text parser and, for every
 // input it accepts, requires the parsed hypergraph to be structurally
@@ -49,6 +61,11 @@ func FuzzReadText(f *testing.F) {
 	f.Add("h1: hub a\nh2: hub b\nh3: hub c\nh4: hub d\nh5: hub e\nh6: hub f\nh7: hub g\nh8: hub h\n")
 	f.Add("all: a b c d e f g h i j\n")
 	f.Add("s1: a\ns2: b\ns3: c\ns4: d\ns5: a\n")
+	// Cover-hostile shapes: a cycle of equal-gain ties (the two greedy
+	// kernels must break every tie identically), and a hub whose first
+	// pick collapses the residual gains of everything else.
+	f.Add("t1: a b\nt2: b c\nt3: c a\n")
+	f.Add("hub1: h a\nhub2: h b\nhub3: h c\nhub4: h d\nlone: x y\n")
 	f.Fuzz(func(t *testing.T, data string) {
 		// Robustness: a pre-cancelled context surfaces context.Canceled
 		// for every input — never a partial parse, never a different
@@ -120,6 +137,38 @@ func FuzzReadText(f *testing.F) {
 			for k := 1; k <= want.MaxK; k++ {
 				if err := check.SameResult(h, flat.Core(k), want.Core(k)); err != nil {
 					t.Fatalf("CSR %d-core of %q: %v", k, data, err)
+				}
+			}
+		}
+		// The cover layer's two greedy kernels are differentially exact:
+		// the map kernel and the CSR kernel must select the same vertices
+		// in the same order with bitwise-equal weight, and must reject
+		// the same inputs with the same error.  Coverable inputs also get
+		// the primal–dual certificate, which sandwiches the 2-approx
+		// between feasibility and the exact optimum (inconclusive if the
+		// capped exact search gives up).
+		if h.NumPins() <= fuzzCoverPins && h.NumEdges() > 0 {
+			mc, merr := cover.Greedy(h, nil)
+			cc, cerr := cover.CSRGreedy(h, nil)
+			switch {
+			case (merr == nil) != (cerr == nil):
+				t.Fatalf("greedy kernels disagree on %q: map err %v, CSR err %v", data, merr, cerr)
+			case merr != nil:
+				if merr.Error() != cerr.Error() {
+					t.Fatalf("greedy kernel errors differ on %q: map %q, CSR %q", data, merr, cerr)
+				}
+			default:
+				if !slices.Equal(mc.Vertices, cc.Vertices) || mc.Weight != cc.Weight {
+					t.Fatalf("greedy kernels diverge on %q: map %v w=%v, CSR %v w=%v",
+						data, mc.Vertices, mc.Weight, cc.Vertices, cc.Weight)
+				}
+				if err := check.ValidCover(h, mc, nil, nil); err != nil {
+					t.Fatalf("greedy cover of %q: %v", data, err)
+				}
+			}
+			if merr == nil {
+				if err := check.CertifyPrimalDual(h, nil, fuzzCertifyNodes); err != nil {
+					t.Fatalf("primal–dual certificate of %q: %v", data, err)
 				}
 			}
 		}

@@ -228,14 +228,19 @@ func (p *Partition) MaterializeCSR(s int) *csr.CSR {
 	for i, f := range sh.Edges {
 		eOff[i+1] = eOff[i] + int32(p.H.EdgeDegree(int(f)))
 	}
+	// Scatter the local IDs into a global-indexed lookup: O(|V|) zeroed
+	// allocation plus O(1) per pin beats a binary search per pin.
+	local := make([]int32, p.H.NumVertices())
+	for j, v := range keep {
+		local[v] = int32(j)
+	}
 	eAdj := make([]int32, eOff[ne])
 	for i, f := range sh.Edges {
 		row := eAdj[eOff[i]:eOff[i]]
 		for _, v := range p.H.Vertices(int(f)) {
 			// Owned hyperedges lose no members: every member is owned or
-			// on the frontier, so the search always hits.
-			j, _ := slices.BinarySearch(keep, v)
-			row = append(row, int32(j))
+			// on the frontier, so the lookup always hits.
+			row = append(row, local[v])
 		}
 	}
 
@@ -264,4 +269,38 @@ func (p *Partition) MaterializeCSR(s int) *csr.CSR {
 		VertexID: keep,
 		EdgeID:   append([]int32(nil), sh.Edges...),
 	}
+}
+
+// RemoteEdges returns the remote-incidence rows of shard s: for the
+// i-th owned vertex (ascending, matching Shards[s].Vertices),
+// adj[off[i]:off[i+1]] lists the hyperedges incident to it that are
+// owned by other shards, as ascending original IDs.  These rows are
+// the complement of the owned rows in MaterializeCSR's block — a
+// vertex's block degree plus its remote row length is its full degree
+// — so a shard-local peel loop can notify foreign hyperedges of a
+// retired vertex without consulting the full hypergraph.
+func (p *Partition) RemoteEdges(s int) (off, adj []int32) {
+	sh := &p.Shards[s]
+	owner := int32(s)
+	off = make([]int32, len(sh.Vertices)+1)
+	total := int32(0)
+	for i, v := range sh.Vertices {
+		for _, f := range p.H.Edges(int(v)) {
+			if p.EdgeOwner[f] != owner {
+				total++
+			}
+		}
+		off[i+1] = total
+	}
+	adj = make([]int32, total)
+	k := 0
+	for _, v := range sh.Vertices {
+		for _, f := range p.H.Edges(int(v)) {
+			if p.EdgeOwner[f] != owner {
+				adj[k] = f
+				k++
+			}
+		}
+	}
+	return off, adj
 }

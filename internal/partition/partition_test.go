@@ -230,6 +230,85 @@ func TestMaterializeCSR(t *testing.T) {
 	}
 }
 
+// TestRemoteEdges checks that the remote-incidence rows are exactly
+// the complement of the owned rows in the MaterializeCSR block: for
+// every owned vertex, the block row (mapped to original IDs) plus the
+// remote row reassembles the vertex's full incidence list, ascending
+// and disjoint.
+func TestRemoteEdges(t *testing.T) {
+	for i, h := range instances(t) {
+		for _, shards := range []int{1, 3, 7} {
+			p := partition.Build(h, shards)
+			for s := range p.Shards {
+				sh := &p.Shards[s]
+				block := p.MaterializeCSR(s)
+				off, adj := p.RemoteEdges(s)
+				if len(off) != len(sh.Vertices)+1 {
+					t.Fatalf("instance %d shard %d/%d: %d offsets for %d owned vertices",
+						i, s, shards, len(off), len(sh.Vertices))
+				}
+				if int(off[len(sh.Vertices)]) != len(adj) {
+					t.Fatalf("instance %d shard %d/%d: offsets end at %d, adj has %d",
+						i, s, shards, off[len(sh.Vertices)], len(adj))
+				}
+				for j, v := range sh.Vertices {
+					remote := adj[off[j]:off[j+1]]
+					for _, f := range remote {
+						if p.EdgeOwner[f] == int32(s) {
+							t.Fatalf("instance %d shard %d/%d: remote row of vertex %d lists owned hyperedge %d",
+								i, s, shards, v, f)
+						}
+					}
+					// Rebuild the full row: owned incidences from the block
+					// (local edge IDs mapped back), remote from the rows.
+					local, ok := localID(block.VertexID, v)
+					if !ok {
+						t.Fatalf("instance %d shard %d/%d: owned vertex %d missing from block", i, s, shards, v)
+					}
+					var full []int32
+					for _, fi := range block.VertexEdges(local) {
+						full = append(full, block.EdgeID[fi])
+					}
+					full = append(full, remote...)
+					want := h.Edges(int(v))
+					if len(full) != len(want) {
+						t.Fatalf("instance %d shard %d/%d: vertex %d reassembles %d incidences, want %d",
+							i, s, shards, v, len(full), len(want))
+					}
+					seen := make(map[int32]bool, len(full))
+					for _, f := range full {
+						seen[f] = true
+					}
+					for _, f := range want {
+						if !seen[f] {
+							t.Fatalf("instance %d shard %d/%d: vertex %d incidence %d missing from block+remote",
+								i, s, shards, v, f)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// localID finds the block-local ID of original vertex v in the sorted
+// VertexID map.
+func localID(ids []int32, v int32) (int32, bool) {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ids) && ids[lo] == v {
+		return int32(lo), true
+	}
+	return 0, false
+}
+
 func TestBuildEmptyHypergraph(t *testing.T) {
 	h, err := hypergraph.FromEdgeSets(0, nil)
 	if err != nil {
