@@ -13,6 +13,7 @@ import (
 	"hyperplex/internal/core"
 	"hyperplex/internal/cover"
 	"hyperplex/internal/dataset"
+	"hyperplex/internal/dist"
 	"hyperplex/internal/gen"
 	"hyperplex/internal/graph"
 	"hyperplex/internal/hypergraph"
@@ -21,26 +22,33 @@ import (
 )
 
 // maxCoreVia computes the maximum core with the engine selected by
-// -shards and -csr: the sharded decomposition engine when -shards is
-// set, otherwise the flat-array CSR kernel unless -csr=false, else the
+// -dist, -shards and -csr: the fault-tolerant distributed runtime when
+// -dist is set, the sharded decomposition engine when -shards is set,
+// otherwise the flat-array CSR kernel unless -csr=false, else the
 // sequential map-based peeler (all produce the same cores; the golden
 // test pins that on the paper numbers).
-func maxCoreVia(h *hypergraph.Hypergraph, o options) *core.Result {
+func maxCoreVia(h *hypergraph.Hypergraph, o options) (*core.Result, error) {
 	var d *core.Decomposition
 	switch {
+	case o.dist > 0:
+		var err error
+		d, err = dist.Decompose(h, dist.Options{Workers: o.dist, Shards: o.shards, LocalFallback: true, WorkerStderr: os.Stderr})
+		if err != nil {
+			return nil, err
+		}
 	case o.shards > 0:
 		d = core.ShardedDecompose(h, core.ShardedOptions{Shards: o.shards})
 	case o.csr:
 		d = core.CSRDecompose(h)
 	default:
-		return core.MaxCore(h)
+		return core.MaxCore(h), nil
 	}
 	if d.MaxK == 0 {
 		// Core(0) keeps non-maximal edges; the 0-core is the reduced
 		// hypergraph, so peel it directly.
-		return core.KCore(h, 0)
+		return core.KCore(h, 0), nil
 	}
-	return d.Core(d.MaxK)
+	return d.Core(d.MaxK), nil
 }
 
 // greedyVia runs the greedy cover (req == nil) or multicover with the
@@ -145,7 +153,10 @@ func runT1(w io.Writer, o options) error {
 			MaxDeg2F: h.MaxDegree2Edge(),
 		}
 		start := time.Now()
-		mc := maxCoreVia(h, o)
+		mc, err := maxCoreVia(h, o)
+		if err != nil {
+			return err
+		}
 		row.ElapsedSec = time.Since(start).Seconds()
 		row.MaxCoreK = mc.K
 		row.CoreV = mc.NumVertices
@@ -205,7 +216,10 @@ func runS3(w io.Writer, o options) error {
 	p := inst.Published
 
 	start := time.Now()
-	mc := maxCoreVia(h, o)
+	mc, err := maxCoreVia(h, o)
+	if err != nil {
+		return err
+	}
 	elapsed := time.Since(start)
 	fmt.Fprintf(w, "maximum core: %d-core with %d proteins and %d complexes in %.3fs (paper: %d-core, %d/%d, 0.47s)\n",
 		mc.K, mc.NumVertices, mc.NumEdges, elapsed.Seconds(), p.MaxCoreK, p.MaxCoreProteins, p.MaxCoreComplexes)

@@ -27,6 +27,7 @@ func main() {
 	outDir := flag.String("out", ".", "directory for generated artifacts (fig3.net, fig3.clu)")
 	trials := flag.Int("trials", 100, "TAP simulation trials for X1")
 	shards := flag.Int("shards", 0, "compute maximum cores with the sharded engine on this many shards (0 = sequential peeler)")
+	distW := flag.Int("dist", 0, "compute maximum cores on a fault-tolerant distributed pool of this many workers (0 = in-process)")
 	csr := flag.Bool("csr", true, "compute maximum cores with the flat-array CSR kernel (-csr=false keeps the map-based peeler)")
 	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this duration (0 = no limit)")
 	flag.Parse()
@@ -44,7 +45,7 @@ func main() {
 		}
 	}
 
-	opts := options{short: *short, outDir: *outDir, trials: *trials, shards: *shards, csr: *csr}
+	opts := options{short: *short, outDir: *outDir, trials: *trials, shards: *shards, csr: *csr, dist: *distW}
 	if *short && *trials > 20 {
 		opts.trials = 20
 	}
@@ -90,6 +91,11 @@ type options struct {
 	// csr routes maximum-core computations through the flat-array CSR
 	// kernel when no sharded engine was requested.
 	csr bool
+	// dist > 0 routes maximum-core computations through the
+	// fault-tolerant distributed runtime with this many workers
+	// (local fallback enabled, so a pool collapse degrades rather
+	// than fails).
+	dist int
 }
 
 type experiment struct {

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	hgcore [-k N | -max | -decompose] [-l N] [-mtx] [-csr] [-parallel N] [-shards N] [-pajek PREFIX] [file]
+//	hgcore [-k N | -max | -decompose] [-l N] [-mtx] [-csr] [-parallel N] [-shards N] [-dist N [-hgshardd PATH] [-local-fallback]] [-pajek PREFIX] [file]
 //
 // With -k it prints the members of the k-core (or the (k, l)-core with
 // -l); with -max (default) the maximum core; with -decompose the
@@ -21,6 +21,7 @@ import (
 
 	"hyperplex/internal/cli"
 	"hyperplex/internal/core"
+	"hyperplex/internal/dist"
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/pajek"
 )
@@ -45,6 +46,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	parallel := fs.Int("parallel", 0, "use the parallel algorithm with this many workers (0 = sequential)")
 	shards := fs.Int("shards", 0, "use the sharded decomposition engine with this many shards (0 = sequential)")
 	csr := fs.Bool("csr", true, "route -max and -decompose through the flat-array CSR kernel (-csr=false keeps the map-based peeler)")
+	distN := fs.Int("dist", 0, "run the decomposition on a fault-tolerant pool of this many workers (0 = in-process)")
+	hgshardd := fs.String("hgshardd", "", "spawn -dist workers as OS processes running this hgshardd binary (empty = in-process workers)")
+	localFallback := fs.Bool("local-fallback", false, "with -dist, degrade to the in-process sharded engine if the worker pool collapses")
 	pajekPrefix := fs.String("pajek", "", "write PREFIX.net and PREFIX.clu with the core highlighted")
 	quiet := fs.Bool("quiet", false, "suppress the member listing")
 	timeout := fs.Duration("timeout", 0, "abort if reading plus peeling exceed this duration (0 = no limit)")
@@ -59,11 +63,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 		return err
 	}
 
-	// decomposeVia routes through the sharded engine when -shards is
-	// set, otherwise through the CSR kernel unless -csr=false; all
-	// three paths produce identical vertex coreness.
+	// decomposeVia routes through the distributed runtime when -dist is
+	// set, the sharded engine when -shards is set, otherwise through
+	// the CSR kernel unless -csr=false; all paths produce identical
+	// vertex coreness.
 	decomposeVia := func() (*core.Decomposition, error) {
 		switch {
+		case *distN > 0:
+			opts := dist.Options{
+				Workers:       *distN,
+				Shards:        *shards,
+				LocalFallback: *localFallback,
+				WorkerStderr:  os.Stderr,
+			}
+			if *hgshardd != "" {
+				opts.WorkerCommand = []string{*hgshardd}
+			}
+			return dist.DecomposeCtx(ctx, h, opts)
 		case *shards > 0:
 			return core.ShardedDecomposeCtx(ctx, h, core.ShardedOptions{Shards: *shards})
 		case *csr:

@@ -139,3 +139,24 @@ func TestRunBadInput(t *testing.T) {
 		t.Error("bad input accepted")
 	}
 }
+
+// TestRunDistMatchesSequential pins the -dist route (coordinator plus
+// an in-process worker pool over loopback TCP) to the sequential
+// output byte for byte, with and without -local-fallback.
+func TestRunDistMatchesSequential(t *testing.T) {
+	for _, mode := range [][]string{
+		{"-max", "-quiet"},
+		{"-decompose", "-quiet"},
+	} {
+		var seq, dist bytes.Buffer
+		if err := run(mode, strings.NewReader(planted), &seq); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(append([]string{"-dist", "2", "-shards", "3", "-local-fallback"}, mode...), strings.NewReader(planted), &dist); err != nil {
+			t.Fatal(err)
+		}
+		if seq.String() != dist.String() {
+			t.Errorf("%v: sequential %q vs dist %q", mode, seq.String(), dist.String())
+		}
+	}
+}

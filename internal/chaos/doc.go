@@ -11,6 +11,15 @@
 //     invariant checkers in internal/check (ValidCore, ValidCover);
 //   - no goroutine outlives the interrupted call.
 //
+// The distributed runtime's sites (dist.send, dist.recv,
+// dist.heartbeat, dist.reassign) carry an inverted contract: the
+// coordinator absorbs injected faults by retry-with-backoff,
+// worker-death replay from the last committed barrier, or the local
+// fallback, so a fired error arm followed by a clean, exactly-correct
+// result is the expected outcome there.  Their driver kills a worker
+// at the first committed barrier so every run also crosses the
+// death-recovery path.
+//
 // The package contains no library code; the suite lives in the test
 // files so production binaries never link it.
 package chaos

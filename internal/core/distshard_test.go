@@ -1,0 +1,278 @@
+package core
+
+import (
+	"testing"
+
+	"hyperplex/internal/gen"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/partition"
+	"hyperplex/internal/xrand"
+)
+
+// distDriver drives a set of DistPeeler replicas through the broadcast
+// BSP schedule locally — the same loop the internal/dist coordinator
+// runs over the wire, minus transport.  barrier, when non-nil, is
+// invoked after every completed barrier with the current (k, round)
+// and may mutate the replicas (the replay tests restore checkpoints
+// from inside it).
+func distDriver(t *testing.T, h *hypergraph.Hypergraph, shards, nw int,
+	barrier func(k int, round int, workers []*DistPeeler)) *Decomposition {
+	t.Helper()
+	part := partition.Build(h, partition.NormalizeShards(shards, h.NumVertices()))
+	workers := make([]*DistPeeler, nw)
+	for i := range workers {
+		workers[i] = NewDistPeeler(h, part)
+	}
+	var dying []int32
+	for s := 0; s < part.NumShards(); s++ {
+		sn := workers[s%nw].AssignFresh(s)
+		dying = append(dying, sn.Dying...)
+	}
+	round := 0
+	if barrier != nil {
+		barrier(0, round, workers)
+	}
+	maxK := 0
+	for k := 1; ; k++ {
+		for {
+			for _, w := range workers {
+				w.ApplyDying(k, dying)
+			}
+			frontier, alive := 0, 0
+			for _, w := range workers {
+				f, a := w.GatherFrontier()
+				frontier += f
+				alive += a
+			}
+			if frontier == 0 && len(dying) == 0 {
+				if alive == 0 {
+					vCore, eCore := workers[0].Coreness()
+					return &Decomposition{VertexCoreness: vCore, EdgeCoreness: eCore, MaxK: maxK}
+				}
+				maxK = k
+				break
+			}
+			var retired []int32
+			for _, w := range workers {
+				retired = append(retired, w.CollectRetired()...)
+			}
+			for _, w := range workers {
+				w.ApplyRetired(retired)
+			}
+			dying = dying[:0]
+			for _, w := range workers {
+				for _, sn := range w.CheckShrunk() {
+					dying = append(dying, sn.Dying...)
+				}
+			}
+			round++
+			if barrier != nil {
+				barrier(k, round, workers)
+			}
+		}
+	}
+}
+
+// sameDecomposition asserts exact equality of vertex coreness and MaxK
+// against the sequential peeler, plus hyperedge coreness against the
+// in-process sharded engine (whose round schedule the dist peeler
+// replays exactly).
+func sameDecomposition(t *testing.T, h *hypergraph.Hypergraph, got *Decomposition, label string) {
+	t.Helper()
+	want := Decompose(h)
+	if got.MaxK != want.MaxK {
+		t.Fatalf("%s: MaxK = %d, want %d", label, got.MaxK, want.MaxK)
+	}
+	for v, c := range want.VertexCoreness {
+		if got.VertexCoreness[v] != c {
+			t.Fatalf("%s: vertex %d coreness = %d, want %d", label, v, got.VertexCoreness[v], c)
+		}
+	}
+	sharded := ShardedDecompose(h, ShardedOptions{Shards: 3})
+	for f, c := range sharded.EdgeCoreness {
+		if got.EdgeCoreness[f] != c {
+			t.Fatalf("%s: hyperedge %d coreness = %d, want %d (sharded schedule)", label, f, got.EdgeCoreness[f], c)
+		}
+	}
+}
+
+// TestDistPeelerDifferential pins the broadcast-delta peel against the
+// sequential and sharded engines over the sweep instances and a larger
+// random hypergraph, across worker and shard counts.
+func TestDistPeelerDifferential(t *testing.T) {
+	rng := xrand.New(0xD157)
+	var instances []*hypergraph.Hypergraph
+	for i := 0; i < 10; i++ {
+		instances = append(instances, gen.RandomHypergraph(10+17*i, 8+13*i, 2+i%5, rng))
+	}
+	instances = append(instances, gen.RandomHypergraph(220, 160, 6, rng))
+	for i, h := range instances {
+		for _, cfg := range [][2]int{{1, 1}, {3, 2}, {4, 3}, {7, 2}} {
+			got := distDriver(t, h, cfg[0], cfg[1], nil)
+			sameDecomposition(t, h, got, "instance")
+			_ = i
+		}
+	}
+}
+
+// TestDistPeelerReplicasAgree asserts that after a full run every
+// replica holds the same coreness mirrors — the invariant that lets
+// any worker serve the final result.
+func TestDistPeelerReplicasAgree(t *testing.T) {
+	h := gen.RandomHypergraph(150, 120, 5, xrand.New(0xA9EE))
+	var workers []*DistPeeler
+	distDriver(t, h, 4, 3, func(k, round int, ws []*DistPeeler) { workers = ws })
+	v0, e0 := workers[0].Coreness()
+	for i := 1; i < len(workers); i++ {
+		vi, ei := workers[i].Coreness()
+		for v := range v0 {
+			if vi[v] != v0[v] {
+				t.Fatalf("replica %d vertex %d coreness %d, replica 0 has %d", i, v, vi[v], v0[v])
+			}
+		}
+		for f := range e0 {
+			if ei[f] != e0[f] {
+				t.Fatalf("replica %d hyperedge %d coreness %d, replica 0 has %d", i, f, ei[f], e0[f])
+			}
+		}
+	}
+}
+
+// scramble vandalizes a replica's mutable state the way a half-applied
+// round would: degrees, queue heads, mirrors and coreness all change.
+func scramble(w *DistPeeler) {
+	for i := range w.vAlive {
+		if i%3 == 0 {
+			w.vAlive[i] = !w.vAlive[i]
+		}
+	}
+	for i := range w.eDeg {
+		w.eDeg[i] += int32(i%5) - 2
+	}
+	for i := range w.vCore {
+		w.vCore[i] += 7
+	}
+	for i := range w.eCore {
+		w.eCore[i] += 7
+	}
+	w.round += 13
+	for _, p := range w.shards {
+		if p == nil {
+			continue
+		}
+		for j := range p.deg {
+			p.deg[j] += int32(j%3) - 1
+		}
+		for i := range p.head {
+			p.head[i] = -1
+		}
+		p.nfree = 0
+		p.cur = 0
+		p.frontier = append(p.frontier[:0], 0)
+		p.aliveV += 5
+	}
+}
+
+// TestDistPeelerCheckpointReplay is the barrier-replay pin: at a fixed
+// barrier every replica is checkpointed, its state scrambled, then
+// restored — and the continuation must still produce the exact
+// sequential decomposition.
+func TestDistPeelerCheckpointReplay(t *testing.T) {
+	h := gen.RandomHypergraph(180, 140, 5, xrand.New(0xBEEF))
+	for _, target := range []int{0, 1, 3} {
+		got := distDriver(t, h, 4, 2, func(k, round int, workers []*DistPeeler) {
+			if round != target {
+				return
+			}
+			for _, w := range workers {
+				cp := w.Checkpoint()
+				scramble(w)
+				if err := w.Restore(cp); err != nil {
+					t.Fatalf("restore at barrier %d: %v", round, err)
+				}
+			}
+		})
+		sameDecomposition(t, h, got, "replayed run")
+	}
+}
+
+// TestDistPeelerReassignment moves a shard between replicas at a
+// barrier through its wire snapshot — the coordinator's worker-death
+// recovery path — and asserts the continuation is exact.
+func TestDistPeelerReassignment(t *testing.T) {
+	h := gen.RandomHypergraph(180, 140, 5, xrand.New(0xFEED))
+	moved := false
+	got := distDriver(t, h, 5, 2, func(k, round int, workers []*DistPeeler) {
+		if moved || round < 2 {
+			return
+		}
+		moved = true
+		// Move every shard owned by worker 1 onto worker 0, as if
+		// worker 1 died at this barrier and the coordinator replayed
+		// its snapshots onto the survivor.
+		for _, s := range workers[1].Owned() {
+			sn := workers[1].snapshotShard(s)
+			workers[1].DropShard(s)
+			if err := workers[0].AssignSnapshot(sn); err != nil {
+				t.Fatalf("reassign shard %d: %v", s, err)
+			}
+		}
+	})
+	if !moved {
+		t.Fatal("run finished before the reassignment barrier; enlarge the instance")
+	}
+	sameDecomposition(t, h, got, "reassigned run")
+}
+
+// TestDistPeelerSnapshotValidation pins the decoder-side defenses of
+// AssignSnapshot: wrong shard index, wrong degree length, and a dying
+// edge owned elsewhere are all rejected.
+func TestDistPeelerSnapshotValidation(t *testing.T) {
+	h := gen.RandomHypergraph(40, 30, 4, xrand.New(1))
+	part := partition.Build(h, 3)
+	w := NewDistPeeler(h, part)
+	sn := w.AssignFresh(1)
+	if err := w.AssignSnapshot(&ShardSnapshot{Shard: 99}); err == nil {
+		t.Error("out-of-range shard index accepted")
+	}
+	bad := sn.Clone()
+	bad.Deg = bad.Deg[:1]
+	if err := w.AssignSnapshot(bad); err == nil {
+		t.Error("truncated degree array accepted")
+	}
+	bad = sn.Clone()
+	var foreign int32 = -1
+	for g := int32(0); int(g) < h.NumEdges(); g++ {
+		if part.EdgeOwner[g] != 1 {
+			foreign = g
+			break
+		}
+	}
+	if foreign >= 0 {
+		bad.Dying = append(bad.Dying, foreign)
+		if err := w.AssignSnapshot(bad); err == nil {
+			t.Error("foreign dying edge accepted")
+		}
+	}
+	if err := w.AssignSnapshot(sn.Clone()); err != nil {
+		t.Errorf("valid snapshot rejected: %v", err)
+	}
+}
+
+// TestDistPeelerEmptyAndDegenerate covers the empty hypergraph and
+// memberless hyperedges through the dist schedule.
+func TestDistPeelerEmptyAndDegenerate(t *testing.T) {
+	empty, err := hypergraph.FromEdgeSets(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := distDriver(t, empty, 2, 2, nil)
+	if d.MaxK != 0 {
+		t.Fatalf("empty hypergraph MaxK = %d, want 0", d.MaxK)
+	}
+	one, err := hypergraph.FromEdgeSets(3, [][]int32{{}, {0, 1, 2}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDecomposition(t, one, distDriver(t, one, 2, 2, nil), "degenerate")
+}

@@ -1,0 +1,721 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os/exec"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplex/internal/core"
+	"hyperplex/internal/failpoint"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/partition"
+	"hyperplex/internal/run"
+)
+
+// fpReassign fires at the start of every worker-death recovery; an
+// injected error there declares the pool failed (exercising the
+// local-fallback path).
+var fpReassign = failpoint.Register("dist.reassign")
+
+// errWorkerLost is the internal signal that at least one worker died
+// mid-phase; the coordinator's main loop answers it with a recovery
+// and a replay from the last committed barrier.
+var errWorkerLost = errors.New("dist: worker lost")
+
+type frameMsg struct {
+	typ     byte
+	payload []byte
+}
+
+// remoteWorker is the coordinator's handle on one worker: its
+// connection, its decoded inbound frames, and its last-heard-from
+// clock (any frame counts, heartbeats exist to keep it fresh while
+// the worker computes).
+type remoteWorker struct {
+	id       int
+	conn     net.Conn
+	frames   chan frameMsg
+	lastBeat atomic.Int64 // unix nanos of the last frame received
+	dead     bool
+	cmd      *exec.Cmd // non-nil when spawned as an OS process
+}
+
+func (rw *remoteWorker) alive() bool { return rw != nil && !rw.dead }
+
+type coordinator struct {
+	//hyperplexvet:ignore ctxfirst scoped to one runCoordinator call tree, mirroring core.peeler
+	ctx   context.Context
+	meter *run.Meter
+	opts  Options
+	h     *hypergraph.Hypergraph
+	part  *partition.Partition
+	edges [][]int32 // member rows shipped in Load
+
+	ln       net.Listener
+	accepted []net.Conn // every accepted conn, for panic-safe teardown
+	workers  []*remoteWorker
+	wg       sync.WaitGroup // reader goroutines + in-process workers
+	done     chan struct{}
+
+	epoch uint32
+	owner []int // shard → worker id
+
+	// Last committed barrier: per-shard snapshots, the pending dying
+	// union, and its (k, round) tag.  This is the replay point.
+	snaps       []*core.ShardSnapshot
+	dying       []int32
+	barK        int32
+	barRound    int32
+	haveBarrier bool
+
+	maxK       int
+	recoveries int
+}
+
+func runCoordinator(ctx context.Context, meter *run.Meter, h *hypergraph.Hypergraph, opts Options) (*core.Decomposition, error) {
+	c := &coordinator{ctx: ctx, meter: meter, opts: opts, h: h, done: make(chan struct{})}
+	defer c.teardown()
+	if err := c.setup(); err != nil {
+		return nil, err
+	}
+	if err := c.initialAssign(); err != nil {
+		if !errors.Is(err, errWorkerLost) {
+			return nil, err
+		}
+		if rerr := c.recoverLoop(); rerr != nil {
+			return nil, rerr
+		}
+	}
+	k := 1
+	for {
+		status, err := c.round(k)
+		switch {
+		case err == nil && status == roundMore:
+			// Barrier committed; stay at this threshold.
+		case err == nil && status == roundAdvance:
+			c.maxK = k
+			k++
+		case err == nil && status == roundDone:
+			return c.finish()
+		case errors.Is(err, errWorkerLost):
+			if rerr := c.recoverLoop(); rerr != nil {
+				return nil, rerr
+			}
+			// Replay from the committed barrier's threshold.
+			k = int(c.barK)
+			if k < 1 {
+				k = 1
+			}
+		default:
+			return nil, err
+		}
+	}
+}
+
+// recoverLoop runs worker-death recovery, answering further deaths
+// during the recovery itself with another attempt, until the pool is
+// consistent again, the recovery budget runs out, or a fatal error
+// surfaces.
+func (c *coordinator) recoverLoop() error {
+	for {
+		err := c.recoverPool()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, errWorkerLost) {
+			return err
+		}
+	}
+}
+
+// setup serializes the problem, builds the partition, starts the
+// listener, spawns the pool, and ships Load to every joined worker.
+func (c *coordinator) setup() error {
+	c.edges = make([][]int32, c.h.NumEdges())
+	for f := range c.edges {
+		c.edges[f] = c.h.Vertices(f)
+	}
+	part, err := partition.BuildCtx(c.ctx, c.h, c.opts.Shards)
+	if err != nil {
+		return err
+	}
+	c.part = part
+	c.owner = make([]int, part.NumShards())
+	c.snaps = make([]*core.ShardSnapshot, part.NumShards())
+
+	ln, err := net.Listen("tcp", c.opts.Listen)
+	if err != nil {
+		return fmt.Errorf("dist: listen: %w", err)
+	}
+	c.ln = ln
+	addr := ln.Addr().String()
+	for i := 0; i < c.opts.Workers; i++ {
+		if err := c.spawn(i, addr); err != nil {
+			return err
+		}
+	}
+	if err := c.join(); err != nil {
+		return err
+	}
+
+	load := msgLoad{Epoch: c.epoch, Descs: part.Descs(), NumV: int32(c.h.NumVertices()), Edges: c.edges}
+	payload := load.encode()
+	for _, rw := range c.workers {
+		if !rw.alive() {
+			continue
+		}
+		if err := sendRetry(rw.conn, mLoad, payload, c.opts.SendRetries); err != nil {
+			c.kill(rw)
+		}
+	}
+	if len(c.aliveWorkers()) == 0 {
+		return fmt.Errorf("%w: no workers survived load", ErrPoolFailed)
+	}
+	return nil
+}
+
+// spawn starts worker i: an OS process running Options.WorkerCommand,
+// or an in-process goroutine serving the same protocol over loopback.
+func (c *coordinator) spawn(i int, addr string) error {
+	if len(c.opts.WorkerCommand) > 0 {
+		argv := append(append([]string(nil), c.opts.WorkerCommand...),
+			"-connect", addr, "-id", strconv.Itoa(i),
+			"-heartbeat", c.opts.HeartbeatInterval.String())
+		cmd := exec.CommandContext(c.ctx, argv[0], argv[1:]...)
+		cmd.Stderr = c.opts.WorkerStderr
+		if err := cmd.Start(); err != nil {
+			// An unstartable pool is a pool failure like an unjoined
+			// one, so LocalFallback covers a missing worker binary.
+			return fmt.Errorf("%w: spawn worker %d: %w", ErrPoolFailed, i, err)
+		}
+		c.workers = append(c.workers, &remoteWorker{id: i, cmd: cmd})
+		return nil
+	}
+	c.workers = append(c.workers, &remoteWorker{id: i})
+	wopts := WorkerOptions{ID: i, HeartbeatInterval: c.opts.HeartbeatInterval, SendRetries: c.opts.SendRetries}
+	ctx := c.ctx
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer func() {
+			// An in-process worker must never crash the coordinator;
+			// its death is detected through the severed connection.
+			_ = recover()
+		}()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		_ = ServeWorker(ctx, conn, wopts)
+		_ = conn.Close()
+	}()
+	return nil
+}
+
+// join accepts pool connections and their Hello handshakes until every
+// spawned worker connected or the phase deadline passes; a partial
+// pool proceeds, an empty one is a pool failure.  Each connection is
+// paired with the worker slot its Hello names — never with the accept
+// order, which under concurrent dials matches the spawn order only by
+// luck, and a mispairing would aim every kill (and its Process.Kill)
+// at the wrong process.
+func (c *coordinator) join() error {
+	deadline := time.Now().Add(c.opts.PhaseTimeout)
+	tl, ok := c.ln.(*net.TCPListener)
+	if !ok {
+		return fmt.Errorf("dist: listener is %T, want *net.TCPListener", c.ln)
+	}
+	joined := 0
+	for range c.workers {
+		if c.ctx.Err() != nil {
+			return c.ctx.Err()
+		}
+		if err := tl.SetDeadline(deadline); err != nil {
+			return fmt.Errorf("dist: listener deadline: %w", err)
+		}
+		conn, err := tl.Accept()
+		if err != nil {
+			break // deadline passed; proceed with the joined pool
+		}
+		// Track the conn before the handshake: if an injected fault
+		// panics out of hello, teardown still severs it, so the worker
+		// behind it cannot be left blocked on a read.
+		c.accepted = append(c.accepted, conn)
+		var id int
+		if err = conn.SetReadDeadline(deadline); err == nil {
+			id, err = c.hello(conn)
+		}
+		if err == nil && (id < 0 || id >= len(c.workers) || c.workers[id].conn != nil) {
+			err = fmt.Errorf("%w: hello claims worker slot %d", ErrCorruptFrame, id)
+		}
+		if err != nil {
+			_ = conn.Close()
+			continue
+		}
+		rw := c.workers[id]
+		_ = conn.SetReadDeadline(time.Time{})
+		rw.conn = conn
+		rw.frames = make(chan frameMsg, 4)
+		rw.lastBeat.Store(time.Now().UnixNano())
+		c.startReader(rw)
+		joined++
+	}
+	for _, rw := range c.workers {
+		if rw.conn == nil {
+			rw.dead = true
+		}
+	}
+	if joined == 0 {
+		return fmt.Errorf("%w: no workers joined within %v", ErrPoolFailed, c.opts.PhaseTimeout)
+	}
+	return nil
+}
+
+// hello validates one join handshake and returns the worker ID the
+// connection claims.
+func (c *coordinator) hello(conn net.Conn) (int, error) {
+	typ, payload, err := readFrame(conn, 64)
+	if err != nil {
+		return 0, err
+	}
+	if typ != mHello {
+		return 0, fmt.Errorf("%w: join frame type %d, want Hello", ErrCorruptFrame, typ)
+	}
+	var m msgHello
+	if err := m.decode(payload); err != nil {
+		return 0, err
+	}
+	if m.Version != protoVersion {
+		return 0, fmt.Errorf("%w: worker protocol version %d, want %d", ErrCorruptFrame, m.Version, protoVersion)
+	}
+	return int(m.ID), nil
+}
+
+// startReader decodes rw's inbound frames into its channel; any read
+// failure (connection death, corrupt frame, injected fault) closes the
+// channel, which every consumer treats as worker death.
+func (c *coordinator) startReader(rw *remoteWorker) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer func() {
+			_ = recover() // an injected recv panic is a dead worker, not a crash
+			close(rw.frames)
+		}()
+		for {
+			typ, payload, err := readFrame(rw.conn, maxFramePayload)
+			if err != nil {
+				return
+			}
+			rw.lastBeat.Store(time.Now().UnixNano())
+			if typ == mHeartbeat {
+				continue
+			}
+			select {
+			case rw.frames <- frameMsg{typ: typ, payload: payload}:
+			case <-c.done:
+				return
+			}
+		}
+	}()
+}
+
+func (c *coordinator) aliveWorkers() []*remoteWorker {
+	var out []*remoteWorker
+	for _, rw := range c.workers {
+		if rw.alive() {
+			out = append(out, rw)
+		}
+	}
+	return out
+}
+
+// kill marks a worker dead and severs its connection; its reader
+// goroutine and (for processes) a bounded Wait are cleaned up here and
+// at teardown.
+func (c *coordinator) kill(rw *remoteWorker) {
+	if rw.dead {
+		return
+	}
+	rw.dead = true
+	if rw.conn != nil {
+		_ = rw.conn.Close()
+	}
+	if rw.cmd != nil && rw.cmd.Process != nil {
+		_ = rw.cmd.Process.Kill()
+	}
+}
+
+// broadcast sends one frame to every live worker; send failure kills
+// the worker and reports the loss after the sweep completes.
+func (c *coordinator) broadcast(typ byte, payload []byte) error {
+	lost := false
+	for _, rw := range c.workers {
+		if !rw.alive() {
+			continue
+		}
+		if err := sendRetry(rw.conn, typ, payload, c.opts.SendRetries); err != nil {
+			c.kill(rw)
+			lost = true
+		}
+	}
+	if lost {
+		return errWorkerLost
+	}
+	return nil
+}
+
+// await blocks for the next current-epoch frame from rw, expecting
+// want.  Stale-epoch frames (replies raced by a recovery) are dropped;
+// a closed channel, an Error frame, a protocol violation, a missed-
+// heartbeat window or the phase deadline all kill the worker and
+// report errWorkerLost; context and budget failures surface as-is.
+func (c *coordinator) await(rw *remoteWorker, want byte) ([]byte, error) {
+	deadline := time.Now().Add(c.opts.PhaseTimeout)
+	missWindow := 4 * c.opts.HeartbeatInterval
+	for {
+		tick := c.opts.HeartbeatInterval
+		if until := time.Until(deadline); until < tick {
+			tick = until
+		}
+		if tick <= 0 {
+			c.kill(rw)
+			return nil, fmt.Errorf("%w: worker %d phase deadline", errWorkerLost, rw.id)
+		}
+		timer := time.NewTimer(tick)
+		select {
+		case fm, ok := <-rw.frames:
+			timer.Stop()
+			if !ok {
+				c.kill(rw)
+				return nil, fmt.Errorf("%w: worker %d connection", errWorkerLost, rw.id)
+			}
+			ep, ok := peekEpoch(fm.payload)
+			if !ok {
+				c.kill(rw)
+				return nil, fmt.Errorf("%w: worker %d sent an epochless frame", errWorkerLost, rw.id)
+			}
+			if ep != c.epoch {
+				continue // stale reply from before a recovery
+			}
+			if fm.typ == mError {
+				var m msgError
+				_ = m.decode(fm.payload)
+				c.kill(rw)
+				return nil, fmt.Errorf("%w: worker %d failed: %s", errWorkerLost, rw.id, m.Text)
+			}
+			if fm.typ != want {
+				c.kill(rw)
+				return nil, fmt.Errorf("%w: worker %d sent frame type %d, want %d", errWorkerLost, rw.id, fm.typ, want)
+			}
+			return fm.payload, nil
+		case <-c.ctx.Done():
+			timer.Stop()
+			return nil, c.ctx.Err()
+		case <-timer.C:
+			if time.Since(time.Unix(0, rw.lastBeat.Load())) > missWindow {
+				c.kill(rw)
+				return nil, fmt.Errorf("%w: worker %d missed heartbeats", errWorkerLost, rw.id)
+			}
+		}
+	}
+}
+
+// initialAssign distributes every shard fresh, round-robin over the
+// live pool, and commits barrier (0, 0) from the returned snapshots.
+func (c *coordinator) initialAssign() error {
+	alive := c.aliveWorkers()
+	if len(alive) == 0 {
+		return fmt.Errorf("%w: no workers to assign", ErrPoolFailed)
+	}
+	fresh := make(map[int][]int32, len(alive))
+	for s := 0; s < c.part.NumShards(); s++ {
+		rw := alive[s%len(alive)]
+		c.owner[s] = rw.id
+		fresh[rw.id] = append(fresh[rw.id], int32(s))
+	}
+	for _, rw := range alive {
+		m := msgAssign{Epoch: c.epoch, K: 0, Round: 0, Fresh: fresh[rw.id]}
+		if err := sendRetry(rw.conn, mAssign, m.encode(), c.opts.SendRetries); err != nil {
+			c.kill(rw)
+			return errWorkerLost
+		}
+	}
+	dying := []int32{}
+	for _, rw := range alive {
+		if len(fresh[rw.id]) == 0 {
+			continue
+		}
+		snaps, err := c.awaitBarrier(rw, 0, 0)
+		if err != nil {
+			return err
+		}
+		for _, sn := range snaps {
+			c.snaps[sn.Shard] = sn
+			dying = append(dying, sn.Dying...)
+		}
+	}
+	c.dying = dying
+	c.barK, c.barRound, c.haveBarrier = 0, 0, true
+	c.fireBarrierHook()
+	return nil
+}
+
+// awaitBarrier awaits rw's Barrier frame for (k, round) and returns
+// its validated snapshots.
+func (c *coordinator) awaitBarrier(rw *remoteWorker, k, round int32) ([]*core.ShardSnapshot, error) {
+	payload, err := c.await(rw, mBarrier)
+	if err != nil {
+		return nil, err
+	}
+	var m msgBarrier
+	if err := m.decode(payload); err != nil {
+		c.kill(rw)
+		return nil, fmt.Errorf("%w: worker %d: %w", errWorkerLost, rw.id, err)
+	}
+	if m.K != k || m.Round != round {
+		c.kill(rw)
+		return nil, fmt.Errorf("%w: worker %d voted barrier (%d,%d), want (%d,%d)", errWorkerLost, rw.id, m.K, m.Round, k, round)
+	}
+	for _, sn := range m.Snaps {
+		if sn.Shard < 0 || int(sn.Shard) >= c.part.NumShards() {
+			c.kill(rw)
+			return nil, fmt.Errorf("%w: worker %d snapshot for unknown shard %d", errWorkerLost, rw.id, sn.Shard)
+		}
+	}
+	return m.Snaps, nil
+}
+
+type roundStatus int
+
+const (
+	roundMore    roundStatus = iota // barrier committed, stay at k
+	roundAdvance                    // level fixpoint with survivors: k++
+	roundDone                       // level fixpoint with nothing alive
+)
+
+// round drives one BSP round at threshold k: broadcast the dying
+// delta, gather the frontier vote, and either detect the level
+// fixpoint or retire-shrink-barrier.
+func (c *coordinator) round(k int) (roundStatus, error) {
+	if err := run.Tick(c.ctx, c.meter, int64(len(c.dying))+1); err != nil {
+		return 0, err
+	}
+	apply := msgRound{Epoch: c.epoch, K: int32(k), Round: c.barRound, IDs: c.dying}
+	if err := c.broadcast(mApply, apply.encode()); err != nil {
+		return 0, err
+	}
+	frontier, alive := 0, 0
+	for _, rw := range c.aliveWorkers() {
+		payload, err := c.await(rw, mFrontier)
+		if err != nil {
+			return 0, err
+		}
+		var m msgRound
+		if err := m.decode(payload); err != nil {
+			c.kill(rw)
+			return 0, fmt.Errorf("%w: worker %d: %w", errWorkerLost, rw.id, err)
+		}
+		frontier += int(m.A)
+		alive += int(m.B)
+	}
+	if frontier == 0 && len(c.dying) == 0 {
+		if alive == 0 {
+			return roundDone, nil
+		}
+		return roundAdvance, nil
+	}
+
+	retire := msgRound{Epoch: c.epoch, K: int32(k), Round: c.barRound}
+	if err := c.broadcast(mRetire, retire.encode()); err != nil {
+		return 0, err
+	}
+	var retired []int32
+	for _, rw := range c.aliveWorkers() {
+		payload, err := c.await(rw, mRetired)
+		if err != nil {
+			return 0, err
+		}
+		var m msgRound
+		if err := m.decode(payload); err != nil {
+			c.kill(rw)
+			return 0, fmt.Errorf("%w: worker %d: %w", errWorkerLost, rw.id, err)
+		}
+		retired = append(retired, m.IDs...)
+	}
+
+	newRound := c.barRound + 1
+	shrink := msgRound{Epoch: c.epoch, K: int32(k), Round: newRound, IDs: retired}
+	if err := c.broadcast(mShrink, shrink.encode()); err != nil {
+		return 0, err
+	}
+	collected := make([]*core.ShardSnapshot, c.part.NumShards())
+	var dying []int32
+	for _, rw := range c.aliveWorkers() {
+		snaps, err := c.awaitBarrier(rw, int32(k), newRound)
+		if err != nil {
+			return 0, err
+		}
+		for _, sn := range snaps {
+			collected[sn.Shard] = sn
+			dying = append(dying, sn.Dying...)
+		}
+	}
+	for s, sn := range collected {
+		if sn == nil {
+			return 0, fmt.Errorf("%w: shard %d missing from barrier %d", errWorkerLost, s, newRound)
+		}
+	}
+	c.snaps = collected
+	c.dying = dying
+	c.barK, c.barRound = int32(k), newRound
+	c.fireBarrierHook()
+	return roundMore, nil
+}
+
+func (c *coordinator) fireBarrierHook() {
+	if c.opts.OnBarrier == nil {
+		return
+	}
+	c.opts.OnBarrier(c.barK, c.barRound, func(worker int) {
+		if worker >= 0 && worker < len(c.workers) {
+			if rw := c.workers[worker]; rw.alive() && rw.conn != nil {
+				_ = rw.conn.Close()
+			}
+		}
+	})
+}
+
+// recoverPool is the worker-death recovery: bump the epoch so stale
+// replies are discarded, roll the survivors back to the last committed
+// barrier (or fully reset if none exists yet), and reassign the dead
+// workers' shards from the coordinator-held snapshots, round-robin
+// over survivors.
+func (c *coordinator) recoverPool() error {
+	c.recoveries++
+	if c.recoveries > c.opts.MaxRecoveries {
+		return fmt.Errorf("%w: recovery budget (%d) exhausted", ErrPoolFailed, c.opts.MaxRecoveries)
+	}
+	if err := failpoint.Inject(fpReassign); err != nil {
+		return fmt.Errorf("%w: reassign: %w", ErrPoolFailed, err)
+	}
+	alive := c.aliveWorkers()
+	if len(alive) == 0 {
+		return fmt.Errorf("%w: no surviving workers", ErrPoolFailed)
+	}
+	c.epoch++
+	if !c.haveBarrier {
+		// The pool broke before the first barrier committed: reset the
+		// survivors and redo the initial assignment from scratch.
+		reset := msgRound{Epoch: c.epoch, K: 0, Round: -1}
+		if err := c.broadcast(mRollback, reset.encode()); err != nil {
+			return err
+		}
+		return c.initialAssign()
+	}
+	rb := msgRound{Epoch: c.epoch, K: c.barK, Round: c.barRound}
+	if err := c.broadcast(mRollback, rb.encode()); err != nil {
+		return err
+	}
+	// Reassign orphaned shards from the barrier snapshots.
+	assign := make(map[int][]*core.ShardSnapshot)
+	for s := 0; s < c.part.NumShards(); s++ {
+		if c.workers[c.owner[s]].alive() {
+			continue
+		}
+		rw := alive[s%len(alive)]
+		c.owner[s] = rw.id
+		assign[rw.id] = append(assign[rw.id], c.snaps[s])
+	}
+	for _, rw := range alive {
+		snaps := assign[rw.id]
+		if len(snaps) == 0 {
+			continue
+		}
+		m := msgAssign{Epoch: c.epoch, K: c.barK, Round: c.barRound, Snaps: snaps}
+		if err := sendRetry(rw.conn, mAssign, m.encode(), c.opts.SendRetries); err != nil {
+			c.kill(rw)
+			return errWorkerLost
+		}
+	}
+	return nil
+}
+
+// finish asks a surviving replica for the final mirrors; any replica
+// holds the complete answer, so each is tried in turn.
+func (c *coordinator) finish() (*core.Decomposition, error) {
+	fin := msgRound{Epoch: c.epoch, K: c.barK, Round: c.barRound}
+	for _, rw := range c.aliveWorkers() {
+		if err := sendRetry(rw.conn, mFinish, fin.encode(), c.opts.SendRetries); err != nil {
+			c.kill(rw)
+			continue
+		}
+		payload, err := c.await(rw, mResult)
+		if err != nil {
+			if errors.Is(err, errWorkerLost) {
+				continue
+			}
+			return nil, err
+		}
+		var m msgResult
+		if err := m.decode(payload); err != nil {
+			c.kill(rw)
+			continue
+		}
+		return &core.Decomposition{
+			VertexCoreness: coreInt(m.VCore),
+			EdgeCoreness:   coreInt(m.ECore),
+			MaxK:           c.maxK,
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: no worker could report the result", ErrPoolFailed)
+}
+
+// teardown shuts the pool down: best-effort Shutdown frames, severed
+// connections, closed listener, and a bounded wait for every reader
+// goroutine, in-process worker, and worker process.
+func (c *coordinator) teardown() {
+	for _, rw := range c.workers {
+		if rw == nil {
+			continue
+		}
+		if rw.alive() && rw.conn != nil {
+			// The Shutdown frame is best-effort; even an injected send
+			// panic must not abort the rest of the teardown.
+			func() {
+				defer func() { _ = recover() }()
+				_ = writeFrame(rw.conn, mShutdown, nil)
+			}()
+		}
+		if rw.conn != nil {
+			_ = rw.conn.Close()
+		}
+	}
+	for _, conn := range c.accepted {
+		_ = conn.Close()
+	}
+	if c.ln != nil {
+		_ = c.ln.Close()
+	}
+	close(c.done)
+	c.wg.Wait()
+	for _, rw := range c.workers {
+		if rw == nil || rw.cmd == nil {
+			continue
+		}
+		cmd := rw.cmd
+		watchdog := time.AfterFunc(3*time.Second, func() {
+			if cmd.Process != nil {
+				_ = cmd.Process.Kill()
+			}
+		})
+		_ = cmd.Wait()
+		watchdog.Stop()
+	}
+}

@@ -1,0 +1,545 @@
+// Package dist executes the sharded core decomposition across OS
+// processes: a coordinator partitions the hypergraph, ships shard
+// assignments to worker processes over a length-prefixed binary wire
+// protocol, drives the bulk-synchronous rounds with broadcast deltas
+// (dying hyperedges, retired vertices), and collects a barrier
+// snapshot of every shard each round.  Workers that die — connection
+// error, missed heartbeats, corrupt frame, injected fault — have their
+// shards reassigned to survivors and the round replays from the last
+// completed barrier; with Options.LocalFallback an unrecoverable pool
+// collapses the run onto the in-process sharded engine instead of
+// failing.  The peel itself is internal/core's DistPeeler, whose
+// broadcast schedule reproduces Decompose's coreness exactly.
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+
+	"hyperplex/internal/core"
+	"hyperplex/internal/failpoint"
+	"hyperplex/internal/partition"
+)
+
+// fpSend fires before every frame write, so chaos tests can inject
+// transient send failures (retried with backoff) and hard ones.
+var fpSend = failpoint.Register("dist.send")
+
+// fpRecv fires before every frame read, so chaos tests can fail or
+// stall the receive path of either end.
+var fpRecv = failpoint.Register("dist.recv")
+
+// Wire format: every frame is a 12-byte header followed by a payload.
+//
+//	offset 0: magic "hx"
+//	offset 2: protocol version (protoVersion)
+//	offset 3: frame type
+//	offset 4: payload length, uint32 little-endian
+//	offset 8: CRC32 (IEEE) of the payload
+//
+// The decoder validates magic, version, type and length against a hard
+// cap before allocating, and the checksum after reading, so a corrupt
+// or adversarial peer costs at most one bounded allocation and
+// surfaces as ErrCorruptFrame — never a crash or an allocation bomb.
+// Inside payloads every slice is count-prefixed, and the count is
+// validated against the bytes actually present before the slice is
+// allocated (the same allocation-capped discipline as the mmio and
+// pajek readers).
+const (
+	protoVersion = 1
+	headerLen    = 12
+	// maxFramePayload caps a frame's payload allocation.  The largest
+	// legitimate frame is the Load graph blob; 1 GiB leaves room for
+	// hypergraphs far beyond the in-RAM engines while still bounding a
+	// hostile length field.
+	maxFramePayload = 1 << 30
+)
+
+var frameMagic = [2]byte{'h', 'x'}
+
+// Frame types.  Coordinator→worker frames carry the coordinator's
+// epoch; worker→coordinator frames echo it, so replies raced by a
+// recovery are recognized as stale and dropped.
+const (
+	mHello     = byte(iota + 1) // w→c: protocol version
+	mLoad                       // c→w: shard descriptors + serialized hypergraph
+	mAssign                     // c→w: fresh shards to set up, or snapshots to restore
+	mRollback                   // c→w: restore the checkpoint at (k, round); round -1 = full reset
+	mApply                      // c→w: apply dying delta at threshold k, gather frontier
+	mFrontier                   // w→c: frontier size + alive count vote
+	mRetire                     // c→w: collect the gathered frontier
+	mRetired                    // w→c: retired vertex IDs
+	mShrink                     // c→w: apply retired delta, re-check shrunk edges
+	mBarrier                    // w→c: per-shard barrier snapshots (the vote + replay state)
+	mFinish                     // c→w: send the final coreness mirrors
+	mResult                     // w→c: vertex + hyperedge coreness
+	mHeartbeat                  // w→c: liveness beacon
+	mShutdown                   // c→w: exit cleanly
+	mError                      // w→c: typed failure report
+	mTypeMax
+)
+
+// ErrCorruptFrame reports a frame that failed structural validation or
+// its checksum; the connection it arrived on is unusable afterwards.
+var ErrCorruptFrame = errors.New("dist: corrupt frame")
+
+// writeFrame encodes and writes one frame.  The failpoint fires before
+// any bytes hit the wire, so an injected failure never half-writes.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if err := failpoint.Inject(fpSend); err != nil {
+		return fmt.Errorf("dist: send: %w", err)
+	}
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("dist: send: %d-byte payload exceeds the %d cap", len(payload), maxFramePayload)
+	}
+	var hdr [headerLen]byte
+	hdr[0], hdr[1] = frameMagic[0], frameMagic[1]
+	hdr[2] = protoVersion
+	hdr[3] = typ
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("dist: send: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("dist: send: %w", err)
+		}
+	}
+	return nil
+}
+
+// sendRetry is writeFrame with bounded retry-with-backoff on transient
+// failures: injected faults and network timeouts back off 1, 2, 4…
+// milliseconds; hard errors (a broken connection) return immediately.
+func sendRetry(w io.Writer, typ byte, payload []byte, retries int) error {
+	backoff := time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err := writeFrame(w, typ, payload)
+		if err == nil {
+			return nil
+		}
+		var nerr interface{ Timeout() bool }
+		transient := errors.Is(err, failpoint.ErrInjected) ||
+			(errors.As(err, &nerr) && nerr.Timeout())
+		if !transient || attempt >= retries {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// readFrame reads and validates one frame.  maxPayload further
+// restricts the global cap for peers that should never send large
+// frames (workers, for everything except Result).
+func readFrame(r io.Reader, maxPayload uint32) (typ byte, payload []byte, err error) {
+	if err := failpoint.Inject(fpRecv); err != nil {
+		return 0, nil, fmt.Errorf("dist: recv: %w", err)
+	}
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("dist: recv: %w", err)
+	}
+	if hdr[0] != frameMagic[0] || hdr[1] != frameMagic[1] {
+		return 0, nil, fmt.Errorf("%w: bad magic %q", ErrCorruptFrame, hdr[:2])
+	}
+	if hdr[2] != protoVersion {
+		return 0, nil, fmt.Errorf("%w: protocol version %d, want %d", ErrCorruptFrame, hdr[2], protoVersion)
+	}
+	typ = hdr[3]
+	if typ == 0 || typ >= mTypeMax {
+		return 0, nil, fmt.Errorf("%w: unknown frame type %d", ErrCorruptFrame, typ)
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("%w: %d-byte payload exceeds the %d cap", ErrCorruptFrame, n, maxPayload)
+	}
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, fmt.Errorf("dist: recv: %w", err)
+		}
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[8:12]) {
+		return 0, nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorruptFrame)
+	}
+	return typ, payload, nil
+}
+
+// enc is an append-only payload builder.
+type enc struct{ b []byte }
+
+func (e *enc) u32(x uint32) {
+	e.b = binary.LittleEndian.AppendUint32(e.b, x)
+}
+func (e *enc) i32(x int32) { e.u32(uint32(x)) }
+func (e *enc) i32s(xs []int32) {
+	e.u32(uint32(len(xs)))
+	for _, x := range xs {
+		e.i32(x)
+	}
+}
+func (e *enc) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.b = append(e.b, b...)
+}
+
+// dec is a bounds-checked payload reader: every count is validated
+// against the bytes still present before anything is allocated, and
+// the first error sticks.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrCorruptFrame, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 4 {
+		d.fail("truncated u32")
+		return 0
+	}
+	x := binary.LittleEndian.Uint32(d.b[:4])
+	d.b = d.b[4:]
+	return x
+}
+
+func (d *dec) i32() int32 { return int32(d.u32()) }
+
+func (d *dec) i32s() []int32 {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(n)*4 > uint64(len(d.b)) {
+		d.fail("int32 slice count %d exceeds %d remaining bytes", n, len(d.b))
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(d.b[4*i:]))
+	}
+	d.b = d.b[4*n:]
+	return out
+}
+
+func (d *dec) bytes() []byte {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(n) > uint64(len(d.b)) {
+		d.fail("byte blob count %d exceeds %d remaining bytes", n, len(d.b))
+		return nil
+	}
+	out := d.b[:n:n]
+	d.b = d.b[n:]
+	return out
+}
+
+// done returns the sticky error, or complains about trailing garbage.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorruptFrame, len(d.b))
+	}
+	return nil
+}
+
+// snapshot encoding, shared by Assign and Barrier frames.
+
+func encSnapshot(e *enc, sn *core.ShardSnapshot) {
+	e.i32(sn.Shard)
+	e.i32(sn.AliveV)
+	e.i32s(sn.Deg)
+	e.i32s(sn.Dying)
+}
+
+func decSnapshot(d *dec) *core.ShardSnapshot {
+	sn := &core.ShardSnapshot{Shard: d.i32(), AliveV: d.i32()}
+	sn.Deg = d.i32s()
+	sn.Dying = d.i32s()
+	return sn
+}
+
+func encSnapshots(e *enc, snaps []*core.ShardSnapshot) {
+	e.u32(uint32(len(snaps)))
+	for _, sn := range snaps {
+		encSnapshot(e, sn)
+	}
+}
+
+func decSnapshots(d *dec) []*core.ShardSnapshot {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	// Each snapshot is at least 4 int32s (shard, alive, two counts).
+	if uint64(n)*16 > uint64(len(d.b)) {
+		d.fail("snapshot count %d exceeds %d remaining bytes", n, len(d.b))
+		return nil
+	}
+	out := make([]*core.ShardSnapshot, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		out = append(out, decSnapshot(d))
+	}
+	return out
+}
+
+// msgHello is the worker's join handshake: its protocol version and
+// the worker ID the spawner assigned it.  The ID is what lets the
+// coordinator pair an accepted connection with the process it spawned
+// — dial order is not spawn order.
+type msgHello struct {
+	Version uint32
+	ID      int32
+}
+
+func (m *msgHello) encode() []byte { var e enc; e.u32(m.Version); e.i32(m.ID); return e.b }
+func (m *msgHello) decode(b []byte) error {
+	d := dec{b: b}
+	m.Version = d.u32()
+	m.ID = d.i32()
+	return d.done()
+}
+
+// msgLoad ships the problem: the partition's shard descriptors and the
+// hypergraph structure as flat member rows.  IDs — not names — are
+// what the decomposition consumes, so the structural encoding keeps
+// every worker's vertex and hyperedge numbering bit-identical to the
+// coordinator's.
+type msgLoad struct {
+	Epoch uint32
+	Descs []partition.Desc
+	NumV  int32
+	Edges [][]int32 // member vertex IDs per hyperedge, in edge order
+}
+
+func (m *msgLoad) encode() []byte {
+	var e enc
+	e.u32(m.Epoch)
+	e.u32(uint32(len(m.Descs)))
+	for _, d := range m.Descs {
+		e.i32(d.First)
+		e.i32(d.Count)
+	}
+	e.i32(m.NumV)
+	e.u32(uint32(len(m.Edges)))
+	for _, members := range m.Edges {
+		e.i32s(members)
+	}
+	return e.b
+}
+
+func (m *msgLoad) decode(b []byte) error {
+	d := dec{b: b}
+	m.Epoch = d.u32()
+	n := d.u32()
+	if d.err == nil && uint64(n)*8 > uint64(len(d.b)) {
+		d.fail("descriptor count %d exceeds %d remaining bytes", n, len(d.b))
+	}
+	if d.err == nil {
+		m.Descs = make([]partition.Desc, n)
+		for i := range m.Descs {
+			m.Descs[i].First = d.i32()
+			m.Descs[i].Count = d.i32()
+		}
+	}
+	m.NumV = d.i32()
+	ne := d.u32()
+	// Each hyperedge row costs at least its 4-byte count.
+	if d.err == nil && uint64(ne)*4 > uint64(len(d.b)) {
+		d.fail("hyperedge count %d exceeds %d remaining bytes", ne, len(d.b))
+	}
+	if d.err == nil {
+		m.Edges = make([][]int32, ne)
+		for i := range m.Edges {
+			m.Edges[i] = d.i32s()
+			if d.err != nil {
+				break
+			}
+		}
+	}
+	return d.done()
+}
+
+// msgAssign hands shards to a worker: Fresh ones are set up from the
+// initial state (and answered with a Barrier frame carrying their
+// round-0 snapshots), Snaps are restored from barrier snapshots during
+// recovery.
+type msgAssign struct {
+	Epoch uint32
+	K     int32
+	Round int32
+	Fresh []int32
+	Snaps []*core.ShardSnapshot
+}
+
+func (m *msgAssign) encode() []byte {
+	var e enc
+	e.u32(m.Epoch)
+	e.i32(m.K)
+	e.i32(m.Round)
+	e.i32s(m.Fresh)
+	encSnapshots(&e, m.Snaps)
+	return e.b
+}
+
+func (m *msgAssign) decode(b []byte) error {
+	d := dec{b: b}
+	m.Epoch = d.u32()
+	m.K = d.i32()
+	m.Round = d.i32()
+	m.Fresh = d.i32s()
+	m.Snaps = decSnapshots(&d)
+	return d.done()
+}
+
+// msgRound is the shared shape of the per-round frames: Apply and
+// Shrink carry a delta, Frontier carries the vote counts, Rollback
+// carries only the barrier tag (Round -1 means full reset), Retire and
+// the worker's Retired reply carry the frontier.
+type msgRound struct {
+	Epoch uint32
+	K     int32
+	Round int32
+	IDs   []int32 // dying (Apply), retired (Shrink, Retired); nil otherwise
+	A, B  int32   // Frontier vote: frontier size, alive owned vertices
+}
+
+func (m *msgRound) encode() []byte {
+	var e enc
+	e.u32(m.Epoch)
+	e.i32(m.K)
+	e.i32(m.Round)
+	e.i32s(m.IDs)
+	e.i32(m.A)
+	e.i32(m.B)
+	return e.b
+}
+
+func (m *msgRound) decode(b []byte) error {
+	d := dec{b: b}
+	m.Epoch = d.u32()
+	m.K = d.i32()
+	m.Round = d.i32()
+	m.IDs = d.i32s()
+	m.A = d.i32()
+	m.B = d.i32()
+	return d.done()
+}
+
+// msgBarrier is the worker's end-of-round vote and replay state: one
+// snapshot per owned shard.
+type msgBarrier struct {
+	Epoch uint32
+	K     int32
+	Round int32
+	Snaps []*core.ShardSnapshot
+}
+
+func (m *msgBarrier) encode() []byte {
+	var e enc
+	e.u32(m.Epoch)
+	e.i32(m.K)
+	e.i32(m.Round)
+	encSnapshots(&e, m.Snaps)
+	return e.b
+}
+
+func (m *msgBarrier) decode(b []byte) error {
+	d := dec{b: b}
+	m.Epoch = d.u32()
+	m.K = d.i32()
+	m.Round = d.i32()
+	m.Snaps = decSnapshots(&d)
+	return d.done()
+}
+
+// msgResult carries a replica's full coreness mirrors.
+type msgResult struct {
+	Epoch        uint32
+	VCore, ECore []int32
+}
+
+func (m *msgResult) encode() []byte {
+	var e enc
+	e.u32(m.Epoch)
+	e.i32s(m.VCore)
+	e.i32s(m.ECore)
+	return e.b
+}
+
+func (m *msgResult) decode(b []byte) error {
+	d := dec{b: b}
+	m.Epoch = d.u32()
+	m.VCore = d.i32s()
+	m.ECore = d.i32s()
+	return d.done()
+}
+
+// msgError is a worker's typed failure report.
+type msgError struct {
+	Epoch uint32
+	Text  string
+}
+
+func (m *msgError) encode() []byte {
+	var e enc
+	e.u32(m.Epoch)
+	e.bytes([]byte(m.Text))
+	return e.b
+}
+
+func (m *msgError) decode(b []byte) error {
+	d := dec{b: b}
+	m.Epoch = d.u32()
+	m.Text = string(d.bytes())
+	return d.done()
+}
+
+// peekEpoch reads the leading epoch shared by every worker reply
+// without consuming the payload.
+func peekEpoch(payload []byte) (uint32, bool) {
+	if len(payload) < 4 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(payload[:4]), true
+}
+
+// coreInt32 narrows a coreness array for the wire; coreness is bounded
+// by the vertex degree, which is int32 already.
+func coreInt32(xs []int) []int32 {
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		if x > math.MaxInt32 {
+			x = math.MaxInt32
+		}
+		out[i] = int32(x)
+	}
+	return out
+}
+
+// coreInt widens a wire coreness array.
+func coreInt(xs []int32) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}

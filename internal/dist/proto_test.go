@@ -1,0 +1,229 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+
+	"hyperplex/internal/core"
+	"hyperplex/internal/partition"
+)
+
+// frameBytes builds a valid frame for test and fuzz seeds.
+func frameBytes(t testing.TB, typ byte, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, typ, payload); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 4096)} {
+		raw := frameBytes(t, mApply, payload)
+		typ, got, err := readFrame(bytes.NewReader(raw), maxFramePayload)
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		if typ != mApply || !bytes.Equal(got, payload) {
+			t.Fatalf("round-trip mismatch: typ=%d len=%d", typ, len(got))
+		}
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	base := frameBytes(t, mBarrier, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	cases := map[string][]byte{
+		"bad magic":   append([]byte{'z', 'z'}, base[2:]...),
+		"bad version": append([]byte{'h', 'x', 99}, base[3:]...),
+		"bad type":    append([]byte{'h', 'x', protoVersion, 200}, base[4:]...),
+		"flipped payload": func() []byte {
+			b := append([]byte(nil), base...)
+			b[headerLen] ^= 0xFF
+			return b
+		}(),
+		"flipped checksum": func() []byte {
+			b := append([]byte(nil), base...)
+			b[8] ^= 0xFF
+			return b
+		}(),
+	}
+	for name, raw := range cases {
+		if _, _, err := readFrame(bytes.NewReader(raw), maxFramePayload); !errors.Is(err, ErrCorruptFrame) {
+			t.Errorf("%s: err = %v, want ErrCorruptFrame", name, err)
+		}
+	}
+	if _, _, err := readFrame(bytes.NewReader(base[:7]), maxFramePayload); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, _, err := readFrame(bytes.NewReader(base[:len(base)-3]), maxFramePayload); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+// TestFrameLengthCap pins the allocation-capped decode: a frame whose
+// header claims a payload beyond the cap is rejected from the header
+// alone, before any payload allocation.
+func TestFrameLengthCap(t *testing.T) {
+	hdr := make([]byte, headerLen)
+	hdr[0], hdr[1], hdr[2], hdr[3] = 'h', 'x', protoVersion, mApply
+	binary.LittleEndian.PutUint32(hdr[4:8], 1<<31)
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(nil))
+	_, _, err := readFrame(bytes.NewReader(hdr), 1<<20)
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("oversized length: err = %v, want ErrCorruptFrame", err)
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	snaps := []*core.ShardSnapshot{
+		{Shard: 0, AliveV: 5, Deg: []int32{1, 2, 3}, Dying: []int32{9}},
+		{Shard: 2, AliveV: 0, Deg: nil, Dying: nil},
+	}
+	load := msgLoad{
+		Epoch: 7,
+		Descs: []partition.Desc{{First: 0, Count: 3}, {First: 3, Count: 2}},
+		NumV:  5,
+		Edges: [][]int32{{0, 1, 2}, {}, {3, 4}},
+	}
+	var load2 msgLoad
+	if err := load2.decode(load.encode()); err != nil {
+		t.Fatalf("load decode: %v", err)
+	}
+	if len(load2.Descs) != 2 || load2.Descs[1].First != 3 || load2.Epoch != 7 ||
+		load2.NumV != 5 || len(load2.Edges) != 3 || len(load2.Edges[1]) != 0 || load2.Edges[2][1] != 4 {
+		t.Fatalf("load round-trip mismatch: %+v", load2)
+	}
+
+	asn := msgAssign{Epoch: 3, K: 2, Round: 5, Fresh: []int32{1, 4}, Snaps: snaps}
+	var asn2 msgAssign
+	if err := asn2.decode(asn.encode()); err != nil {
+		t.Fatalf("assign decode: %v", err)
+	}
+	if len(asn2.Snaps) != 2 || asn2.Snaps[0].AliveV != 5 || asn2.Snaps[0].Deg[2] != 3 || asn2.Snaps[1].Shard != 2 {
+		t.Fatalf("assign round-trip mismatch: %+v", asn2)
+	}
+
+	rd := msgRound{Epoch: 1, K: 4, Round: 9, IDs: []int32{5, -1, 7}, A: 11, B: -2}
+	var rd2 msgRound
+	if err := rd2.decode(rd.encode()); err != nil {
+		t.Fatalf("round decode: %v", err)
+	}
+	if rd2.K != 4 || rd2.Round != 9 || len(rd2.IDs) != 3 || rd2.IDs[1] != -1 || rd2.A != 11 || rd2.B != -2 {
+		t.Fatalf("round round-trip mismatch: %+v", rd2)
+	}
+
+	bar := msgBarrier{Epoch: 8, K: 3, Round: 12, Snaps: snaps}
+	var bar2 msgBarrier
+	if err := bar2.decode(bar.encode()); err != nil {
+		t.Fatalf("barrier decode: %v", err)
+	}
+	if len(bar2.Snaps) != 2 || bar2.Snaps[0].Dying[0] != 9 {
+		t.Fatalf("barrier round-trip mismatch: %+v", bar2)
+	}
+
+	res := msgResult{Epoch: 2, VCore: []int32{0, 1, 2}, ECore: []int32{3}}
+	var res2 msgResult
+	if err := res2.decode(res.encode()); err != nil {
+		t.Fatalf("result decode: %v", err)
+	}
+	if len(res2.VCore) != 3 || res2.ECore[0] != 3 {
+		t.Fatalf("result round-trip mismatch: %+v", res2)
+	}
+
+	em := msgError{Epoch: 6, Text: "worker 3: shard exploded"}
+	var emDec msgError
+	if err := emDec.decode(em.encode()); err != nil || emDec.Text != em.Text || emDec.Epoch != 6 {
+		t.Fatalf("error round-trip mismatch: %+v err=%v", emDec, err)
+	}
+
+	hello := msgHello{Version: protoVersion, ID: 3}
+	var hello2 msgHello
+	if err := hello2.decode(hello.encode()); err != nil || hello2.Version != protoVersion || hello2.ID != 3 {
+		t.Fatalf("hello round-trip mismatch: %+v err=%v", hello2, err)
+	}
+}
+
+// TestDecodeRejectsAllocationBombs pins the count-validated slice
+// decode: a payload claiming a billion int32s with eight bytes behind
+// it must fail before allocating.
+func TestDecodeRejectsAllocationBombs(t *testing.T) {
+	var en enc
+	en.u32(0) // epoch
+	en.i32(1)
+	en.i32(1)
+	en.u32(1 << 30) // IDs count with no bytes behind it
+	var m msgRound
+	if err := m.decode(en.b); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("bomb count: err = %v, want ErrCorruptFrame", err)
+	}
+	var en2 enc
+	en2.u32(0)
+	en2.i32(0)
+	en2.i32(0)
+	en2.u32(1 << 29) // snapshot count with no bytes behind it
+	var b msgBarrier
+	if err := b.decode(en2.b); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("snapshot bomb: err = %v, want ErrCorruptFrame", err)
+	}
+	var m2 msgRound
+	if err := m2.decode(append((&msgRound{}).encode(), 0xEE)); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// FuzzDecodeFrame fuzzes the full inbound path: frame validation with
+// a bounded payload cap, then every message decoder over the payload.
+// Nothing here may panic or over-allocate, whatever the bytes.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(frameBytes(f, mHello, (&msgHello{Version: protoVersion}).encode()))
+	f.Add(frameBytes(f, mApply, (&msgRound{Epoch: 1, K: 2, Round: 3, IDs: []int32{4, 5}}).encode()))
+	f.Add(frameBytes(f, mBarrier, (&msgBarrier{Epoch: 1, K: 1, Round: 1, Snaps: []*core.ShardSnapshot{{Shard: 0, Deg: []int32{1}}}}).encode()))
+	f.Add(frameBytes(f, mLoad, (&msgLoad{Descs: []partition.Desc{{First: 0, Count: 2}}, NumV: 2, Edges: [][]int32{{0, 1}}}).encode()))
+	f.Add(frameBytes(f, mResult, (&msgResult{VCore: []int32{1}, ECore: []int32{2}}).encode()))
+	// Truncated header and payload.
+	whole := frameBytes(f, mRetired, (&msgRound{IDs: []int32{1, 2, 3}}).encode())
+	f.Add(whole[:5])
+	f.Add(whole[:len(whole)-2])
+	// Oversized claimed length.
+	over := append([]byte(nil), whole...)
+	binary.LittleEndian.PutUint32(over[4:8], 1<<30)
+	f.Add(over)
+	// Corrupt checksum.
+	bad := append([]byte(nil), whole...)
+	bad[8] ^= 0x40
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := readFrame(bytes.NewReader(data), 1<<20)
+		if err != nil {
+			if payload != nil && err == io.EOF {
+				t.Fatal("payload returned alongside an error")
+			}
+			return
+		}
+		// A structurally valid frame: every decoder must handle the
+		// payload without panicking, whatever the type byte says.
+		_ = typ
+		var (
+			h  msgHello
+			l  msgLoad
+			a  msgAssign
+			r  msgRound
+			b  msgBarrier
+			rs msgResult
+			em msgError
+		)
+		_ = h.decode(payload)
+		_ = l.decode(payload)
+		_ = a.decode(payload)
+		_ = r.decode(payload)
+		_ = b.decode(payload)
+		_ = rs.decode(payload)
+		_ = em.decode(payload)
+	})
+}

@@ -1,0 +1,341 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplex/internal/core"
+	"hyperplex/internal/failpoint"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/partition"
+)
+
+// fpHeartbeat fires before every heartbeat send; the chaos suite's
+// panic arm turns it into a mid-round worker death.
+var fpHeartbeat = failpoint.Register("dist.heartbeat")
+
+// WorkerOptions tunes one worker connection.
+type WorkerOptions struct {
+	// ID is the worker identity assigned by the spawner, echoed in the
+	// Hello handshake so the coordinator can pair this connection with
+	// the process it launched whatever order the pool dialed in.
+	ID int
+	// HeartbeatInterval is the beacon period; the coordinator declares
+	// a silent worker dead after several missed beats.  Defaults to
+	// 100ms.
+	HeartbeatInterval time.Duration
+	// SendRetries bounds retry-with-backoff on transient reply-send
+	// failures.  Defaults to 3.
+	SendRetries int
+}
+
+func (o WorkerOptions) normalized() WorkerOptions {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if o.SendRetries <= 0 {
+		o.SendRetries = 3
+	}
+	return o
+}
+
+// errShutdown signals a clean coordinator-requested exit.
+var errShutdown = errors.New("dist: shutdown requested")
+
+// tagged is one checkpoint slot: the peel state at barrier (k, round).
+type tagged struct {
+	k, round int32
+	cp       *core.PeelCheckpoint
+}
+
+// workerState is one worker's side of the protocol: the replica, the
+// connection, and the two-slot barrier checkpoint.  pending holds the
+// snapshot taken when the worker voted at the latest barrier; the next
+// Apply frame proves the coordinator committed that barrier and
+// promotes it to committed.  A Rollback frame names one of the two
+// tags; anything else is a protocol violation.
+type workerState struct {
+	conn net.Conn
+	opts WorkerOptions
+
+	wmu sync.Mutex // serializes frame writes (main loop vs heartbeat)
+
+	h      *hypergraph.Hypergraph
+	part   *partition.Partition
+	peeler *core.DistPeeler
+
+	epoch              uint32
+	pending, committed *tagged
+
+	hbPanic atomic.Pointer[core.WorkerPanicError]
+}
+
+// ServeWorker runs one worker over conn until the coordinator sends
+// Shutdown, the connection drops, or ctx is cancelled.  It recovers
+// panics (including injected ones) into a *core.WorkerPanicError so a
+// worker process, or an in-process worker goroutine, always fails as a
+// typed error rather than a crash.
+func ServeWorker(ctx context.Context, conn net.Conn, opts WorkerOptions) (err error) {
+	defer func() {
+		if x := recover(); x != nil {
+			stack := make([]byte, 16<<10)
+			stack = stack[:runtime.Stack(stack, false)]
+			err = &core.WorkerPanicError{Value: x, Stack: stack}
+		}
+	}()
+	w := &workerState{conn: conn, opts: opts.normalized()}
+	if err := w.send(mHello, (&msgHello{Version: protoVersion, ID: int32(w.opts.ID)}).encode()); err != nil {
+		return err
+	}
+
+	// One sidecar goroutine: heartbeats on a ticker, and closes the
+	// connection when ctx is cancelled so the read loop unblocks.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if x := recover(); x != nil {
+				// An injected heartbeat panic is a worker death: record
+				// it and sever the connection so both ends notice.
+				stack := make([]byte, 16<<10)
+				stack = stack[:runtime.Stack(stack, false)]
+				w.hbPanic.Store(&core.WorkerPanicError{Value: x, Stack: stack})
+				_ = conn.Close()
+			}
+		}()
+		w.heartbeatLoop(ctx, stop)
+	}()
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	for {
+		typ, payload, rerr := readFrame(conn, maxFramePayload)
+		if rerr != nil {
+			if p := w.hbPanic.Load(); p != nil {
+				return p
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(rerr, io.EOF) {
+				return nil // coordinator hung up cleanly
+			}
+			return rerr
+		}
+		if herr := w.handle(ctx, typ, payload); herr != nil {
+			if errors.Is(herr, errShutdown) {
+				return nil
+			}
+			w.report(herr)
+			return herr
+		}
+	}
+}
+
+// heartbeatLoop beacons until stop closes; on ctx cancellation it
+// severs the connection to unblock the main read loop.
+func (w *workerState) heartbeatLoop(ctx context.Context, stop <-chan struct{}) {
+	ticker := time.NewTicker(w.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			_ = w.conn.Close()
+			return
+		case <-ticker.C:
+			if err := failpoint.Inject(fpHeartbeat); err != nil {
+				continue // beat skipped; enough of these reads as death
+			}
+			w.wmu.Lock()
+			err := writeFrame(w.conn, mHeartbeat, nil)
+			w.wmu.Unlock()
+			if err != nil && !errors.Is(err, failpoint.ErrInjected) {
+				return // connection is gone; the main loop will notice
+			}
+		}
+	}
+}
+
+// send writes one frame under the write lock with bounded retry.
+func (w *workerState) send(typ byte, payload []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return sendRetry(w.conn, typ, payload, w.opts.SendRetries)
+}
+
+// report best-effort ships a typed failure to the coordinator before
+// the worker gives up.
+func (w *workerState) report(err error) {
+	_ = w.send(mError, (&msgError{Epoch: w.epoch, Text: err.Error()}).encode())
+}
+
+func (w *workerState) handle(ctx context.Context, typ byte, payload []byte) error {
+	switch typ {
+	case mLoad:
+		var m msgLoad
+		if err := m.decode(payload); err != nil {
+			return err
+		}
+		return w.load(ctx, &m)
+	case mAssign:
+		var m msgAssign
+		if err := m.decode(payload); err != nil {
+			return err
+		}
+		return w.assign(&m)
+	case mRollback:
+		var m msgRound
+		if err := m.decode(payload); err != nil {
+			return err
+		}
+		return w.rollback(&m)
+	case mApply:
+		var m msgRound
+		if err := m.decode(payload); err != nil {
+			return err
+		}
+		return w.apply(&m)
+	case mRetire:
+		var m msgRound
+		if err := m.decode(payload); err != nil {
+			return err
+		}
+		w.epoch = m.Epoch
+		m.IDs = w.peelerOrNil().CollectRetired()
+		return w.send(mRetired, m.encode())
+	case mShrink:
+		var m msgRound
+		if err := m.decode(payload); err != nil {
+			return err
+		}
+		return w.shrink(&m)
+	case mFinish:
+		var m msgRound
+		if err := m.decode(payload); err != nil {
+			return err
+		}
+		w.epoch = m.Epoch
+		vCore, eCore := w.peelerOrNil().Coreness()
+		res := msgResult{Epoch: w.epoch, VCore: coreInt32(vCore), ECore: coreInt32(eCore)}
+		return w.send(mResult, res.encode())
+	case mShutdown:
+		return errShutdown
+	case mHeartbeat:
+		return nil
+	default:
+		return fmt.Errorf("%w: unexpected frame type %d at worker", ErrCorruptFrame, typ)
+	}
+}
+
+// peelerOrNil returns the replica; frames arriving before Load are a
+// coordinator bug and surface as the nil-pointer panic recovered at
+// ServeWorker into a typed error, so no silent wrong answers.
+func (w *workerState) peelerOrNil() *core.DistPeeler { return w.peeler }
+
+func (w *workerState) load(ctx context.Context, m *msgLoad) error {
+	w.epoch = m.Epoch
+	h, err := hypergraph.FromEdgeSets(int(m.NumV), m.Edges)
+	if err != nil {
+		return fmt.Errorf("dist: load graph: %w", err)
+	}
+	part, err := partition.FromDescsCtx(ctx, h, m.Descs)
+	if err != nil {
+		return fmt.Errorf("dist: load partition: %w", err)
+	}
+	w.h, w.part = h, part
+	w.peeler = core.NewDistPeeler(h, part)
+	w.pending, w.committed = nil, nil
+	return nil
+}
+
+func (w *workerState) assign(m *msgAssign) error {
+	w.epoch = m.Epoch
+	if w.peeler == nil {
+		return errors.New("dist: assign before load")
+	}
+	var snaps []*core.ShardSnapshot
+	for _, s := range m.Fresh {
+		if s < 0 || int(s) >= w.peeler.NumShards() {
+			return fmt.Errorf("dist: assign of unknown shard %d", s)
+		}
+		snaps = append(snaps, w.peeler.AssignFresh(int(s)))
+	}
+	for _, sn := range m.Snaps {
+		if err := w.peeler.AssignSnapshot(sn); err != nil {
+			return err
+		}
+	}
+	// The replica now holds barrier (K, Round) state including the new
+	// shards; re-checkpoint it as the committed slot.
+	w.committed = &tagged{k: m.K, round: m.Round, cp: w.peeler.Checkpoint()}
+	w.pending = nil
+	if len(m.Fresh) > 0 {
+		b := msgBarrier{Epoch: w.epoch, K: m.K, Round: m.Round, Snaps: snaps}
+		return w.send(mBarrier, b.encode())
+	}
+	return nil
+}
+
+func (w *workerState) rollback(m *msgRound) error {
+	w.epoch = m.Epoch
+	if m.Round < 0 {
+		// Full reset: the pool died before the first barrier committed.
+		if w.h == nil {
+			return errors.New("dist: reset before load")
+		}
+		w.peeler = core.NewDistPeeler(w.h, w.part)
+		w.pending, w.committed = nil, nil
+		return nil
+	}
+	var cp *tagged
+	switch {
+	case w.pending != nil && w.pending.k == m.K && w.pending.round == m.Round:
+		cp = w.pending
+	case w.committed != nil && w.committed.k == m.K && w.committed.round == m.Round:
+		cp = w.committed
+	default:
+		return fmt.Errorf("dist: no checkpoint for barrier k=%d round=%d", m.K, m.Round)
+	}
+	if err := w.peeler.Restore(cp.cp); err != nil {
+		return err
+	}
+	w.committed, w.pending = cp, nil
+	return nil
+}
+
+func (w *workerState) apply(m *msgRound) error {
+	w.epoch = m.Epoch
+	// An Apply frame means the coordinator committed the barrier this
+	// worker last voted for: promote the tentative checkpoint.
+	if w.pending != nil {
+		w.committed, w.pending = w.pending, nil
+	}
+	w.peelerOrNil().ApplyDying(int(m.K), m.IDs)
+	f, a := w.peeler.GatherFrontier()
+	reply := msgRound{Epoch: w.epoch, K: m.K, Round: m.Round, A: int32(f), B: int32(a)}
+	return w.send(mFrontier, reply.encode())
+}
+
+func (w *workerState) shrink(m *msgRound) error {
+	w.epoch = m.Epoch
+	w.peelerOrNil().ApplyRetired(m.IDs)
+	snaps := w.peeler.CheckShrunk()
+	// Tentative checkpoint: this barrier is committed only once every
+	// worker's vote lands, which the next Apply frame confirms.
+	w.pending = &tagged{k: m.K, round: m.Round, cp: w.peeler.Checkpoint()}
+	b := msgBarrier{Epoch: w.epoch, K: m.K, Round: m.Round, Snaps: snaps}
+	return w.send(mBarrier, b.encode())
+}

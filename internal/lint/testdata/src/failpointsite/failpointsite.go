@@ -6,6 +6,18 @@ import "hyperplex/internal/failpoint"
 // fpGood is the convention: one package-level var, constant name.
 var fpGood = failpoint.Register("fixture.good")
 
+// Grouped site vars are still the convention — each spec declares one
+// dedicated var under a constant name, as the dist wire protocol does
+// for its send/recv sites.
+var (
+	fpGroupA = failpoint.Register("fixture.group.a")
+	fpGroupB = failpoint.Register("fixture.group.b")
+)
+
+// A multi-name spec shares one declaration between sites, so neither
+// var is dedicated; both calls are flagged.
+var fpPairA, fpPairB = failpoint.Register("fixture.pair.a"), failpoint.Register("fixture.pair.b") // want "dedicated package-level var" "dedicated package-level var"
+
 // fpDyn registers under a dynamic name the chaos suite cannot see.
 var fpDyn = failpoint.Register(siteName()) // want "failpoint site name must be a constant string"
 
@@ -15,6 +27,15 @@ func work() error {
 	site := failpoint.Register("fixture.local") // want "failpoint.Register must initialize a dedicated package-level var"
 	_ = site
 	if err := failpoint.Inject(fpGood); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(fpGroupA); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(fpGroupB); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(fpPairA); err != nil { // want "site var registered at package level"
 		return err
 	}
 	if err := failpoint.Inject(fpDyn); err != nil {

@@ -129,12 +129,115 @@ func BuildCtx(ctx context.Context, h *hypergraph.Hypergraph, shards int) (*Parti
 			acc = 0
 		}
 	}
+	if err := p.assemble(ctx, meter); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Desc is a serializable shard descriptor: one contiguous owned vertex
+// block, identified by its first vertex and length.  A []Desc is the
+// whole partition in wire-ready form — a coordinator computes the
+// balanced blocks once and ships descriptors, and every worker rebuilds
+// the identical Partition with FromDescs regardless of the balancing
+// heuristic's inputs.
+type Desc struct {
+	First int32 // first owned vertex ID
+	Count int32 // owned vertex count
+}
+
+// Descs returns the partition's shard descriptors, in shard order.
+func (p *Partition) Descs() []Desc {
+	out := make([]Desc, len(p.Shards))
+	for s := range p.Shards {
+		sh := &p.Shards[s]
+		out[s].Count = int32(len(sh.Vertices))
+		if len(sh.Vertices) > 0 {
+			out[s].First = sh.Vertices[0]
+		}
+	}
+	return out
+}
+
+// FromDescs rebuilds a Partition of h from shard descriptors.
+func FromDescs(h *hypergraph.Hypergraph, descs []Desc) *Partition {
+	p, err := FromDescsCtx(context.Background(), h, descs)
+	if err != nil {
+		// Unreachable for descriptors produced by Descs on the same
+		// hypergraph under a background context; invalid wire input must
+		// go through FromDescsCtx.
+		panic(err)
+	}
+	return p
+}
+
+// FromDescsCtx is FromDescs honoring cancellation, deadline and any
+// run.Budget attached to ctx.  The descriptors must cover h's vertices
+// exactly with contiguous, ascending, non-empty blocks (except that a
+// vertexless hypergraph is described by a single empty block); anything
+// else — including descriptors from another hypergraph — returns an
+// error, so a worker can reject a corrupt or mismatched assignment
+// instead of building a partition that silently disagrees with the
+// coordinator's.
+func FromDescsCtx(ctx context.Context, h *hypergraph.Hypergraph, descs []Desc) (*Partition, error) {
+	meter := run.MeterFrom(ctx)
+	if err := run.Tick(ctx, meter, 0); err != nil {
+		return nil, err
+	}
+	if err := failpoint.Inject(fpBuild); err != nil {
+		return nil, fmt.Errorf("partition: build from descriptors: %w", err)
+	}
+	nv, ne := h.NumVertices(), h.NumEdges()
+	if len(descs) == 0 {
+		return nil, fmt.Errorf("partition: no shard descriptors")
+	}
+	p := &Partition{
+		H:           h,
+		VertexOwner: make([]int32, nv),
+		EdgeOwner:   make([]int32, ne),
+		Shards:      make([]Shard, len(descs)),
+	}
+	next := int32(0)
+	for s, d := range descs {
+		p.Shards[s].Index = s
+		if d.First != next || d.Count < 0 || int(next)+int(d.Count) > nv {
+			return nil, fmt.Errorf("partition: shard %d descriptor [%d,+%d) does not continue the block cover at %d of %d vertices",
+				s, d.First, d.Count, next, nv)
+		}
+		if d.Count == 0 && nv > 0 {
+			return nil, fmt.Errorf("partition: shard %d descriptor is empty", s)
+		}
+		for i := int32(0); i < d.Count; i++ {
+			v := next + i
+			p.VertexOwner[v] = int32(s)
+			p.Shards[s].Vertices = append(p.Shards[s].Vertices, v)
+		}
+		next += d.Count
+		if err := run.Tick(ctx, meter, int64(d.Count)+1); err != nil {
+			return nil, err
+		}
+	}
+	if int(next) != nv {
+		return nil, fmt.Errorf("partition: descriptors cover %d of %d vertices", next, nv)
+	}
+	if err := p.assemble(ctx, meter); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// assemble derives the ownership-dependent structure — edge anchors,
+// cut edges, frontiers — from an already-filled vertex block
+// assignment.
+func (p *Partition) assemble(ctx context.Context, meter *run.Meter) error {
+	h := p.H
+	nv, ne := h.NumVertices(), h.NumEdges()
 
 	// Anchor each hyperedge at its first member and record cut edges.
 	for f := 0; f < ne; f++ {
 		if f%buildCheckEvery == 0 {
 			if err := run.Tick(ctx, meter, buildCheckEvery); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		members := h.Vertices(f)
@@ -168,7 +271,7 @@ func BuildCtx(ctx context.Context, h *hypergraph.Hypergraph, shards int) (*Parti
 		for i, f := range sh.Cut {
 			if i%buildCheckEvery == 0 {
 				if err := run.Tick(ctx, meter, buildCheckEvery); err != nil {
-					return nil, err
+					return err
 				}
 			}
 			for _, v := range h.Vertices(int(f)) {
@@ -179,7 +282,7 @@ func BuildCtx(ctx context.Context, h *hypergraph.Hypergraph, shards int) (*Parti
 			}
 		}
 	}
-	return p, nil
+	return nil
 }
 
 // Materialize builds the standalone sub-hypergraph of shard s: its
