@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	hyperplexvet [-list] [-only name,...] [packages]
+//	hyperplexvet [-list] [-only name,...] [-json | -annotate] [packages]
 //
 // Packages are directories or recursive patterns like ./...; with no
 // arguments the whole module is checked.  Exit status is 0 when the
 // suite is clean, 1 when diagnostics were reported, and 2 when the
 // packages could not be loaded (or the flags were invalid).
+//
+// -json emits the diagnostics as a JSON array on stdout (empty array
+// when clean), for CI artifacts and tooling.  -annotate is a dry run
+// that prints, for every suppressible diagnostic, the ignore directive
+// that would silence it — nothing is written to any file; the reason
+// is yours to state.
 //
 // Diagnostics are suppressed in source with
 //
@@ -20,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -39,7 +46,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	annotate := fs.Bool("annotate", false, "dry run: print the ignore directive each diagnostic would take, editing nothing")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *annotate {
+		fmt.Fprintln(stderr, "hyperplexvet: -json and -annotate are mutually exclusive")
 		return 2
 	}
 
@@ -82,12 +95,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	diags := lint.RunSuite(prog, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	switch {
+	case *jsonOut:
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "hyperplexvet:", err)
+			return 2
+		}
+	case *annotate:
+		writeAnnotations(stdout, diags)
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "hyperplexvet: %d issue(s) in %d package(s)\n", len(diags), len(prog.Pkgs))
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the machine-readable diagnostic shape emitted by -json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the diagnostics as one indented JSON array — an
+// empty array for a clean run, so consumers always get valid JSON.
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// writeAnnotations prints, for each diagnostic, the ignore directive a
+// reasoned suppression would take, as a dry run: nothing is edited.
+// Malformed-directive findings (pseudo-analyzer "hyperplexvet") cannot
+// be suppressed and are called out as such.
+func writeAnnotations(w io.Writer, diags []lint.Diagnostic) {
+	for _, d := range diags {
+		if d.Analyzer == "hyperplexvet" {
+			fmt.Fprintf(w, "%s: not suppressible: %s\n", d.Pos, d.Message)
+			continue
+		}
+		fmt.Fprintf(w, "%s: %s\n\tinsert above: //hyperplexvet:ignore %s <reason>\n", d.Pos, d.Message, d.Analyzer)
+	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -96,6 +97,68 @@ func TestOnlyFlag(t *testing.T) {
 	}
 	if code, _, _ := runVet(t, "-only", "nopanic", fixture("nopanic")); code != 1 {
 		t.Fatalf("-only nopanic exit = %d, want 1", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := runVet(t, "-json", fixture("nopanic"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json reported no diagnostics for the nopanic fixture")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "nopanic" || d.Line <= 0 || !strings.HasSuffix(d.File, "nopanic.go") {
+			t.Errorf("unexpected JSON diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	code, out, _ := runVet(t, "-json", fixture("clean"))
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json output = %q, want empty array", out)
+	}
+}
+
+func TestAnnotateDryRun(t *testing.T) {
+	code, out, _ := runVet(t, "-annotate", fixture("nopanic"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (annotate is a dry run, diagnostics still fail)", code)
+	}
+	if !strings.Contains(out, "//hyperplexvet:ignore nopanic <reason>") {
+		t.Errorf("-annotate did not propose an ignore directive:\n%s", out)
+	}
+}
+
+func TestAnnotateCleanPrintsNothing(t *testing.T) {
+	code, out, _ := runVet(t, "-annotate", fixture("clean"))
+	if code != 0 || out != "" {
+		t.Errorf("clean -annotate: exit = %d, output = %q; want 0 and empty", code, out)
+	}
+}
+
+func TestJSONAndAnnotateConflict(t *testing.T) {
+	code, _, stderr := runVet(t, "-json", "-annotate", fixture("clean"))
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "mutually exclusive") {
+		t.Errorf("conflict not reported: %s", stderr)
 	}
 }
 

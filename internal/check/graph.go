@@ -3,6 +3,7 @@ package check
 import (
 	"fmt"
 
+	"hyperplex/internal/csr"
 	"hyperplex/internal/graph"
 	"hyperplex/internal/hypergraph"
 )
@@ -109,7 +110,7 @@ func IntersectionEdges(h *hypergraph.Hypergraph) map[[2]int32]int {
 // BipartiteEdges returns the edge set of B(H): one edge per pin,
 // between vertex v and hyperedge node |V|+f.
 func BipartiteEdges(h *hypergraph.Hypergraph) map[[2]int32]bool {
-	nv := int32(h.NumVertices())
+	nv := csr.MustInt32(h.NumVertices())
 	want := make(map[[2]int32]bool)
 	for f := 0; f < h.NumEdges(); f++ {
 		for _, v := range h.Vertices(f) {

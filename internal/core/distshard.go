@@ -146,7 +146,7 @@ func (w *DistPeeler) Owned() []int {
 // caller (fresh assign or snapshot restore).
 func (w *DistPeeler) newShard(s int) *shardPeel {
 	sh := &w.part.Shards[s]
-	n := int32(len(sh.Vertices))
+	n := csr.MustInt32(len(sh.Vertices))
 	p := &shardPeel{n: n}
 	if n > 0 {
 		p.lo = sh.Vertices[0]
@@ -159,16 +159,25 @@ func (w *DistPeeler) newShard(s int) *shardPeel {
 		}
 		ownedInc += d
 	}
-	ne := int32(len(sh.Edges))
+	ne := csr.MustInt32(len(sh.Edges))
 	entries := n + ownedInc
-	p.deg = make([]int32, n)
-	p.head = make([]int32, maxDeg+1)
-	p.next = make([]int32, entries)
-	p.item = make([]int32, entries)
-	p.stamp = make([]int32, ne)
-	p.frontier = make([]int32, 0, n)
-	p.shrunk = make([]int32, 0, ne)
-	p.dying = make([]int32, 0, ne)
+	// One arena allocation backs every int32 slice of the shard — the
+	// same carve discipline as shardedEngine.setupShard, so the work
+	// lists shared through shardPeel stay arena-owned everywhere.
+	arena := make([]int32, n+(maxDeg+1)+2*entries+ne+n+2*ne)
+	carve := func(sz int32) []int32 {
+		s := arena[:sz:sz]
+		arena = arena[sz:]
+		return s
+	}
+	p.deg = carve(n)
+	p.head = carve(maxDeg + 1)
+	p.next = carve(entries)
+	p.item = carve(entries)
+	p.stamp = carve(ne)
+	p.frontier = carve(n)[:0]
+	p.shrunk = carve(ne)[:0]
+	p.dying = carve(ne)[:0]
 	for i := range p.head {
 		p.head[i] = -1
 	}

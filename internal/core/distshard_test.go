@@ -276,3 +276,38 @@ func TestDistPeelerEmptyAndDegenerate(t *testing.T) {
 	}
 	sameDecomposition(t, one, distDriver(t, one, 2, 2, nil), "degenerate")
 }
+
+// TestNewShardSingleArena pins the allocation discipline of the dist
+// shard setup: every int32 array of a shardPeel is carved from one
+// arena allocation, so assigning a shard costs two heap objects (the
+// struct and the arena) instead of one per work list — and the carved
+// slices tile the arena with full-slice-expression caps, so an append
+// past a list's budget cannot silently bleed into its neighbor.
+func TestNewShardSingleArena(t *testing.T) {
+	rng := xrand.New(0xA7E4A)
+	h := gen.RandomHypergraph(300, 200, 5, rng)
+	part := partition.Build(h, partition.NormalizeShards(4, h.NumVertices()))
+	w := NewDistPeeler(h, part)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		_ = w.newShard(1)
+	})
+	if allocs > 3 {
+		t.Errorf("newShard allocates %.1f objects per call, want at most 3 (shardPeel + arena)", allocs)
+	}
+
+	p := w.newShard(1)
+	n := len(part.Shards[1].Vertices)
+	ne := len(part.Shards[1].Edges)
+	if cap(p.frontier) != n || len(p.frontier) != 0 {
+		t.Errorf("frontier carved len=%d cap=%d, want an empty list with capacity %d", len(p.frontier), cap(p.frontier), n)
+	}
+	for name, sl := range map[string][]int32{"shrunk": p.shrunk, "dying": p.dying} {
+		if cap(sl) != ne || len(sl) != 0 {
+			t.Errorf("%s carved len=%d cap=%d, want an empty list with capacity %d", name, len(sl), cap(sl), ne)
+		}
+	}
+	if cap(p.deg) != len(p.deg) || cap(p.stamp) != len(p.stamp) {
+		t.Error("carved arrays are not capacity-capped; appends could bleed into the next carve")
+	}
+}

@@ -197,6 +197,7 @@ func newPeeler(ctx context.Context, h *hypergraph.Hypergraph) *peeler {
 	// containment tests all see the original overlap table.
 	var drop []int
 	for f := 0; f < ne; f++ {
+		p.checkpoint(1)
 		if p.eDeg[f] == 0 || p.ov.NonMaximal(f, p.eDeg) {
 			drop = append(drop, f)
 		}
@@ -261,6 +262,7 @@ func (p *peeler) deleteVertex(v int) {
 	// Phase 2: a shrunk hyperedge dies when it falls below the minimum
 	// size (empty, for the plain k-core) or stops being maximal.
 	for _, f := range live {
+		p.checkpoint(1)
 		if !p.eAlive[f] {
 			continue
 		}

@@ -132,6 +132,7 @@ func KCoreParallelCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, work
 		}
 		var wg sync.WaitGroup
 		chunk := (n + w - 1) / w
+		//hyperplexvet:ignore budgettick bounded spawn loop: at most workers iterations of O(1) setup; each spawned chunk ticks at entry
 		for i := 0; i < w; i++ {
 			lo := i * chunk
 			hi := lo + chunk
@@ -191,6 +192,7 @@ func KCoreParallelCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, work
 		dead := make([][]int32, workers)
 		err := parallelRange(len(cand), func(lo, hi, worker int) error {
 			scratch := scratches[worker]
+			//hyperplexvet:ignore budgettick charged en bloc by the chunk-entry run.Tick(hi-lo) in parallelRange
 			for i := lo; i < hi; i++ {
 				f := cand[i]
 				df := eDeg[f].Load()
@@ -227,8 +229,15 @@ func KCoreParallelCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, work
 	}
 
 	for {
+		// Per-round checkpoint: a round whose work list is empty spawns
+		// no chunks, so the chunk-entry ticks alone would let the loop
+		// pass a round without observing cancellation or the budget.
+		if err := run.Tick(ctx, meter, 1); err != nil {
+			return nil, err
+		}
 		// Phase 3 (and entry): retire dead edges, decrement members.
 		err := parallelRange(len(dying), func(lo, hi, _ int) error {
+			//hyperplexvet:ignore budgettick charged en bloc by the chunk-entry run.Tick(hi-lo) in parallelRange
 			for i := lo; i < hi; i++ {
 				f := dying[i]
 				eAlive[f].Store(false)
@@ -278,6 +287,7 @@ func KCoreParallelCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, work
 		}
 		shrunkParts := make([][]int32, workers)
 		err = parallelRange(len(frontier), func(lo, hi, worker int) error {
+			//hyperplexvet:ignore budgettick charged en bloc by the chunk-entry run.Tick(hi-lo) in parallelRange
 			for i := lo; i < hi; i++ {
 				v := frontier[i]
 				for _, f := range h.Edges(int(v)) {

@@ -81,10 +81,12 @@ func (s *nonMaxScratch) NonMaximal(c *csr.CSR, f, df int32, vAlive, eAlive func(
 	}
 	s.seq++
 	mark := s.seq // unique per check within this scratch
+	//hyperplexvet:ignore budgettick bounded: one pass over f's two-hop neighborhood through O(1) accessors; every caller charges the check
 	for _, v := range c.EdgeVertices(f) {
 		if !vAlive(v) {
 			continue
 		}
+		//hyperplexvet:ignore budgettick bounded: inner leg of the same single two-hop pass, charged by the caller
 		for _, g := range c.VertexEdges(v) {
 			if g == f || !eAlive(g) {
 				continue

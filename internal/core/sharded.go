@@ -146,6 +146,7 @@ type shardPeel struct {
 	// flat global ID payloads (one entry per decrement).  Capacities
 	// are exact: every cut pin and every remote incidence fires at
 	// most once over the whole run.
+	//hyperplexvet:outbox
 	outV, outE [][]int32
 
 	aliveV int
@@ -227,15 +228,17 @@ func newShardedEngine(ctx context.Context, h *hypergraph.Hypergraph, part *parti
 // setupShard materializes shard s's peel state: the CSR block, the
 // remote-incidence rows, and the arena carved into degrees, bucket
 // queue, stamps, work lists and outbox payloads.
+//
+//hyperplexvet:phase owned
 func (e *shardedEngine) setupShard(s, _ int) error {
 	sh := &e.part.Shards[s]
-	n := int32(len(sh.Vertices))
+	n := csr.MustInt32(len(sh.Vertices))
 	if err := run.Tick(e.ctx, e.meter, int64(n)+int64(sh.Pins)+1); err != nil {
 		return err
 	}
 	block := e.part.MaterializeCSR(s)
 	rOff, rAdj := e.part.RemoteEdges(s)
-	ne := int32(block.NumEdges())
+	ne := csr.MustInt32(block.NumEdges())
 	ns := len(e.peels)
 
 	p := &shardPeel{block: block, n: n, aliveV: int(n)}
@@ -269,7 +272,7 @@ func (e *shardedEngine) setupShard(s, _ int) error {
 	for _, g := range rAdj {
 		ecnt[e.part.EdgeOwner[g]]++
 	}
-	vout, eout := int32(0), int32(len(rAdj))
+	vout, eout := int32(0), csr.MustInt32(len(rAdj))
 	for _, c := range vcnt {
 		vout += c
 	}
@@ -325,6 +328,7 @@ func (e *shardedEngine) forEachShard(fn func(s, worker int) error) error {
 	var firstErr atomic.Pointer[error]
 	var wg sync.WaitGroup
 	chunk := (ns + w - 1) / w
+	//hyperplexvet:ignore budgettick bounded spawn loop: at most workers iterations of O(1) setup; every phase fn ticks at entry
 	for i := 0; i < w; i++ {
 		lo := i * chunk
 		hi := lo + chunk
@@ -348,6 +352,7 @@ func (e *shardedEngine) forEachShard(fn func(s, worker int) error) error {
 				firstErr.CompareAndSwap(nil, &err)
 				return
 			}
+			//hyperplexvet:ignore budgettick every phase fn begins with a run.Tick sized to its shard's work
 			for s := lo; s < hi; s++ {
 				if err := fn(s, worker); err != nil {
 					firstErr.CompareAndSwap(nil, &err)
@@ -387,6 +392,9 @@ func (e *shardedEngine) clampCore() int {
 // applyDying retires shard s's dying hyperedges and decrements the
 // degrees of their alive members — owned directly (re-pushing them at
 // their new bucket), foreign through the vertex outboxes.
+//
+//hyperplexvet:phase owned
+//hyperplexvet:hotpath
 func (e *shardedEngine) applyDying(s, _ int) error {
 	p := e.peels[s]
 	if err := run.Tick(e.ctx, e.meter, int64(len(p.dying))+1); err != nil {
@@ -419,6 +427,9 @@ func (e *shardedEngine) applyDying(s, _ int) error {
 // drained, keeping the entries whose recorded degree is still current
 // (each alive owned vertex below the threshold has exactly one such
 // entry, pushed by its last decrement).
+//
+//hyperplexvet:phase drain
+//hyperplexvet:hotpath
 func (e *shardedEngine) drainAndGather(s, _ int) error {
 	p := e.peels[s]
 	inbox := 0
@@ -458,6 +469,9 @@ func (e *shardedEngine) drainAndGather(s, _ int) error {
 // their alive hyperedges — owned through the block rows (recording
 // first-shrink stamps for the re-check), foreign through the remote
 // rows into the hyperedge outboxes.
+//
+//hyperplexvet:phase owned
+//hyperplexvet:hotpath
 func (e *shardedEngine) retireAndShrink(s, _ int) error {
 	p := e.peels[s]
 	if err := run.Tick(e.ctx, e.meter, int64(len(p.frontier))+1); err != nil {
@@ -494,6 +508,9 @@ func (e *shardedEngine) retireAndShrink(s, _ int) error {
 // phase: the re-check that follows reads the degrees of other shards'
 // hyperedges, so every inbox must be fully applied — barrier between —
 // before any shard starts checking.
+//
+//hyperplexvet:phase drain
+//hyperplexvet:hotpath
 func (e *shardedEngine) drainEdges(s, _ int) error {
 	p := e.peels[s]
 	n := 0
@@ -520,6 +537,9 @@ func (e *shardedEngine) drainEdges(s, _ int) error {
 
 // checkShrunk re-checks every owned hyperedge that shrank this round
 // for emptiness or non-maximality, refilling the shard's dying list.
+//
+//hyperplexvet:phase owned
+//hyperplexvet:hotpath
 func (e *shardedEngine) checkShrunk(s, worker int) error {
 	p := e.peels[s]
 	if err := run.Tick(e.ctx, e.meter, int64(len(p.shrunk))+1); err != nil {
@@ -538,9 +558,12 @@ func (e *shardedEngine) checkShrunk(s, worker int) error {
 // checkInitial is round 0's reduction: every owned hyperedge is
 // checked, so empty and initially non-maximal hyperedges die at
 // coreness 0.
+//
+//hyperplexvet:phase owned
+//hyperplexvet:hotpath
 func (e *shardedEngine) checkInitial(s, worker int) error {
 	p := e.peels[s]
-	ne := int32(p.block.NumEdges())
+	ne := csr.MustInt32(p.block.NumEdges())
 	if err := run.Tick(e.ctx, e.meter, int64(ne)+1); err != nil {
 		return err
 	}

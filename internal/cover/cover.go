@@ -165,6 +165,8 @@ func (h *costHeap) pushItem(c float64, v int32) {
 	h.v = append(h.v, v)
 	heap.Fix(h, h.Len()-1)
 }
+
+//hyperplexvet:hotpath
 func (h *costHeap) popItem() (float64, int32) {
 	c, v := h.cost[0], h.v[0]
 	n := h.Len() - 1
@@ -242,14 +244,23 @@ func GreedyMulticoverCtx(ctx context.Context, h *hypergraph.Hypergraph, weights 
 
 	ch := &costHeap{}
 	lastGain := make([]int, nv)
+	meter := run.MeterFrom(ctx)
+	// The heap seeding is O(pins) before the greedy loop's own ticks
+	// start, so it checkpoints on the same interval as the pop loop.
+	seeded := 0
 	for v := 0; v < nv; v++ {
+		if seeded++; seeded >= greedyCheckEvery {
+			if err := run.Tick(ctx, meter, int64(seeded)); err != nil {
+				return nil, err
+			}
+			seeded = 0
+		}
 		if g := gain(v); g > 0 {
 			lastGain[v] = g
 			ch.pushItem(weights[v]/float64(g), int32(v))
 		}
 	}
 
-	meter := run.MeterFrom(ctx)
 	c := &Cover{InCover: make([]bool, nv)}
 	pops := 0
 	for unmet > 0 {

@@ -98,14 +98,23 @@ func CSRGreedyMulticoverCtx(ctx context.Context, h *hypergraph.Hypergraph, weigh
 	}
 
 	ch := &costHeap{cost: make([]float64, 0, nv), v: heapV}
+	meter := run.MeterFrom(ctx)
+	// The heap seeding is O(pins) before the greedy loop's own ticks
+	// start, so it checkpoints on the same interval as the pop loop.
+	seeded := 0
 	for v := int32(0); int(v) < nv; v++ {
+		if seeded++; seeded >= greedyCheckEvery {
+			if err := run.Tick(ctx, meter, int64(seeded)); err != nil {
+				return nil, err
+			}
+			seeded = 0
+		}
 		if g := gain(v); g > 0 {
 			lastGain[v] = g
 			ch.pushItem(weights[v]/float64(g), v)
 		}
 	}
 
-	meter := run.MeterFrom(ctx)
 	c := &Cover{InCover: make([]bool, nv)}
 	pops := 0
 	for unmet > 0 {
@@ -138,6 +147,7 @@ func CSRGreedyMulticoverCtx(ctx context.Context, h *hypergraph.Hypergraph, weigh
 		c.InCover[v] = true
 		c.Vertices = append(c.Vertices, int(v))
 		c.Weight += weights[v]
+		//hyperplexvet:hotpath
 		for _, f := range view.VertexEdges(v) {
 			if remaining[f] > 0 {
 				remaining[f]--

@@ -116,6 +116,7 @@ func PrimalDualCtx(ctx context.Context, h *hypergraph.Hypergraph, weights []floa
 		}
 		y[f] = min
 		dualValue += min
+		//hyperplexvet:ignore budgettick bounded: one pass over f's members; the enclosing raise loop ticks every coverCheckEvery hyperedges
 		for _, v32 := range members {
 			v := int(v32)
 			if c.InCover[v] {

@@ -78,12 +78,26 @@ func FromH(h *hypergraph.Hypergraph) *CSR {
 	return c
 }
 
-// narrow converts an int offset array to int32 (pin counts are bounded
-// by the int32 ID space already, so the conversion cannot overflow).
+// MustInt32 narrows a size-derived int to int32, panicking when the
+// value does not fit.  The CSR index space is int32 by design; every
+// narrowing of a length, count or offset must go through this helper
+// (or an explicit bound check) so that a pathological input fails
+// loudly instead of silently truncating into a corrupt index array.
+// The int32narrow analyzer enforces the convention.
+func MustInt32(x int) int32 {
+	if x < 0 || x > 1<<31-1 {
+		panic(fmt.Sprintf("csr: size %d overflows the int32 index space", x))
+	}
+	return int32(x)
+}
+
+// narrow converts an int offset array to int32, failing loudly via
+// MustInt32 if a pin count ever exceeds the int32 index space (offsets
+// are monotone, so checking each entry checks the total).
 func narrow(off []int) []int32 {
 	out := make([]int32, len(off))
 	for i, x := range off {
-		out[i] = int32(x)
+		out[i] = MustInt32(x)
 	}
 	return out
 }

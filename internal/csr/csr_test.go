@@ -9,6 +9,7 @@ package csr_test
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 
 	"hyperplex/internal/check"
@@ -199,5 +200,32 @@ func TestDecomposeCtxBudget(t *testing.T) {
 	d, err := csr.DecomposeCtx(ctx, csr.FromH(h))
 	if d != nil || !errors.Is(err, run.ErrBudgetExceeded) {
 		t.Fatalf("want (nil, ErrBudgetExceeded), got (%v, %v)", d, err)
+	}
+}
+
+// TestMustInt32 pins the loud-failure contract of the index-space
+// narrowing helper: in-range sizes pass through exactly, while a
+// negative or too-large size panics with a message naming the overflow
+// instead of silently truncating into a corrupt index array.
+func TestMustInt32(t *testing.T) {
+	for _, ok := range []int{0, 1, 4096, 1<<31 - 1} {
+		if got := csr.MustInt32(ok); int(got) != ok {
+			t.Errorf("MustInt32(%d) = %d, want pass-through", ok, got)
+		}
+	}
+	for _, bad := range []int{-1, 1 << 31, 1<<31 + 7} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("MustInt32(%d) did not panic", bad)
+					return
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "overflows the int32 index space") {
+					t.Errorf("MustInt32(%d) panic = %v, want an index-space overflow message", bad, r)
+				}
+			}()
+			csr.MustInt32(bad)
+		}()
 	}
 }

@@ -191,7 +191,7 @@ func newPeeler(ctx context.Context, c *CSR) *peeler {
 	// bucket entry arena is sized for the lazy queue's worst case
 	// (|V| initial pushes + one push per pin decrement).
 	entries := nv + pins
-	arena := make([]int32, 3*nv+4*ne+(maxDeg+1)+2*entries+maxDeg+pins)
+	arena := make([]int32, 3*nv+5*ne+(maxDeg+1)+2*entries+maxDeg+pins)
 	carve := func(n int) []int32 {
 		s := arena[:n:n]
 		arena = arena[n:]
@@ -220,6 +220,7 @@ func newPeeler(ctx context.Context, c *CSR) *peeler {
 		p.charge(1)
 		row := p.mem[c.EOff[f]:c.EOff[f+1]]
 		for i := 1; i < len(row); i++ {
+			p.charge(1)
 			w := row[i]
 			lw := c.VOff[w+1] - c.VOff[w]
 			j := i - 1
@@ -251,8 +252,10 @@ func newPeeler(ctx context.Context, c *CSR) *peeler {
 	}
 
 	// Initial reduction.  Collect first, then delete, so that the
-	// containment tests all see the original incidence state.
-	var drop []int32
+	// containment tests all see the original incidence state.  The drop
+	// list is carved from the arena (worst case: every hyperedge dies),
+	// not grown by append — the arena sizing above reserves its ne slot.
+	drop := carve(ne)[:0]
 	for f := 0; f < ne; f++ {
 		p.charge(1)
 		if p.eDeg[f] == 0 || p.nonMaximal(int32(f)) {
@@ -267,6 +270,8 @@ func newPeeler(ctx context.Context, c *CSR) *peeler {
 
 // push records that vertex v now has degree d.  Entries are never
 // removed eagerly; pops skip entries whose recorded degree is stale.
+//
+//hyperplexvet:hotpath
 func (p *peeler) push(v int32, d int) {
 	idx := p.nfree
 	p.nfree++
@@ -280,6 +285,8 @@ func (p *peeler) push(v int32, d int) {
 
 // deleteEdge removes alive hyperedge f at the current core level: its
 // alive members lose one degree and are re-pushed at their new bucket.
+//
+//hyperplexvet:hotpath
 func (p *peeler) deleteEdge(f int32) {
 	p.charge(1)
 	p.eAlive[f] = false
@@ -301,6 +308,8 @@ func (p *peeler) deleteEdge(f int32) {
 // containment f ⊆ g over alive vertices can only be created by f
 // losing an alive member, and the equal-set tie-break can only flip
 // against a hyperedge that shrank in the same deletion.
+//
+//hyperplexvet:hotpath
 func (p *peeler) deleteVertex(v int32) {
 	p.charge(1)
 	p.vAlive[v] = false
@@ -346,6 +355,8 @@ func (p *peeler) deleteVertex(v int32) {
 // whose candidate scans, are shortest.  Only candidates surviving all
 // three filters reach the member count, so f's alive members are
 // stamped lazily on the first such candidate.
+//
+//hyperplexvet:hotpath
 func (p *peeler) nonMaximal(f int32) bool {
 	df := p.eDeg[f]
 	if df == 0 {
@@ -358,6 +369,7 @@ func (p *peeler) nonMaximal(f int32) bool {
 	mrow := p.mem[p.c.EOff[f]:p.c.EOff[f+1]]
 	var v1 int32
 	i := 0
+	//hyperplexvet:ignore budgettick bounded: eDeg[f] > 0 guarantees an alive member in mrow
 	for ; ; i++ {
 		if w := mrow[i]; vAlive[w] {
 			v1 = w
@@ -381,6 +393,7 @@ func (p *peeler) nonMaximal(f int32) bool {
 		return false
 	}
 	var v2 int32
+	//hyperplexvet:ignore budgettick bounded: df >= 2 here, so a second alive member follows in mrow
 	for ; ; i++ {
 		if w := mrow[i]; vAlive[w] {
 			v2 = w
@@ -394,6 +407,7 @@ func (p *peeler) nonMaximal(f int32) bool {
 	eOff, eAdj := p.c.EOff, p.c.EAdj
 	stamp, stamped := p.stamp, false
 	for _, g := range row {
+		p.charge(1)
 		if estamp[g] != seq || g == f || shrunk[g] == dseq {
 			continue
 		}
@@ -438,6 +452,8 @@ func (p *peeler) nextSeq() int32 {
 
 // peel drains the bucket queue: repeatedly pop a minimum-degree alive
 // vertex, raise the core level to its degree if higher, and delete it.
+//
+//hyperplexvet:hotpath
 func (p *peeler) peel() {
 	p.checkpoint = p.checkpointPeel
 	for p.aliveV > 0 {
@@ -447,6 +463,9 @@ func (p *peeler) peel() {
 		idx := p.head[p.cur]
 		p.head[p.cur] = p.next[idx]
 		v := p.item[idx]
+		// Each pop is charged here: a bucket full of stale entries would
+		// otherwise drain through the continue below with no checkpoint.
+		p.charge(1)
 		if !p.vAlive[v] || int(p.vDeg[v]) != p.cur {
 			continue // stale entry: v died or was decremented since
 		}

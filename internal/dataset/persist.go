@@ -163,6 +163,11 @@ func LoadInstanceCtx(ctx context.Context, dir string) (*Instance, error) {
 	}
 	sc := bufio.NewScanner(bf)
 	for sc.Scan() {
+		// Each bait line is charged: the file length is unbounded input.
+		if err := run.Tick(ctx, meter, 1); err != nil {
+			bf.Close()
+			return nil, err
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hyperplex/internal/core"
+	"hyperplex/internal/csr"
 	"hyperplex/internal/failpoint"
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/partition"
@@ -156,6 +157,9 @@ func (c *coordinator) setup() error {
 	c.ln = ln
 	addr := ln.Addr().String()
 	for i := 0; i < c.opts.Workers; i++ {
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
 		if err := c.spawn(i, addr); err != nil {
 			return err
 		}
@@ -164,13 +168,16 @@ func (c *coordinator) setup() error {
 		return err
 	}
 
-	load := msgLoad{Epoch: c.epoch, Descs: part.Descs(), NumV: int32(c.h.NumVertices()), Edges: c.edges}
+	load := msgLoad{Epoch: c.epoch, Descs: part.Descs(), NumV: csr.MustInt32(c.h.NumVertices()), Edges: c.edges}
 	payload := load.encode()
 	for _, rw := range c.workers {
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
 		if !rw.alive() {
 			continue
 		}
-		if err := sendRetry(rw.conn, mLoad, payload, c.opts.SendRetries); err != nil {
+		if err := sendRetry(c.ctx, rw.conn, mLoad, payload, c.opts.SendRetries); err != nil {
 			c.kill(rw)
 		}
 	}
@@ -357,10 +364,13 @@ func (c *coordinator) kill(rw *remoteWorker) {
 func (c *coordinator) broadcast(typ byte, payload []byte) error {
 	lost := false
 	for _, rw := range c.workers {
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
 		if !rw.alive() {
 			continue
 		}
-		if err := sendRetry(rw.conn, typ, payload, c.opts.SendRetries); err != nil {
+		if err := sendRetry(c.ctx, rw.conn, typ, payload, c.opts.SendRetries); err != nil {
 			c.kill(rw)
 			lost = true
 		}
@@ -376,6 +386,8 @@ func (c *coordinator) broadcast(typ byte, payload []byte) error {
 // a closed channel, an Error frame, a protocol violation, a missed-
 // heartbeat window or the phase deadline all kill the worker and
 // report errWorkerLost; context and budget failures surface as-is.
+//
+//hyperplexvet:wirerecv
 func (c *coordinator) await(rw *remoteWorker, want byte) ([]byte, error) {
 	deadline := time.Now().Add(c.opts.PhaseTimeout)
 	missWindow := 4 * c.opts.HeartbeatInterval
@@ -442,13 +454,16 @@ func (c *coordinator) initialAssign() error {
 	}
 	for _, rw := range alive {
 		m := msgAssign{Epoch: c.epoch, K: 0, Round: 0, Fresh: fresh[rw.id]}
-		if err := sendRetry(rw.conn, mAssign, m.encode(), c.opts.SendRetries); err != nil {
+		if err := sendRetry(c.ctx, rw.conn, mAssign, m.encode(), c.opts.SendRetries); err != nil {
 			c.kill(rw)
 			return errWorkerLost
 		}
 	}
 	dying := []int32{}
 	for _, rw := range alive {
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
 		if len(fresh[rw.id]) == 0 {
 			continue
 		}
@@ -483,6 +498,7 @@ func (c *coordinator) awaitBarrier(rw *remoteWorker, k, round int32) ([]*core.Sh
 		c.kill(rw)
 		return nil, fmt.Errorf("%w: worker %d voted barrier (%d,%d), want (%d,%d)", errWorkerLost, rw.id, m.K, m.Round, k, round)
 	}
+	//hyperplexvet:ignore budgettick bounded validation pass over one decoded frame; kill runs on the error path only
 	for _, sn := range m.Snaps {
 		if sn.Shard < 0 || int(sn.Shard) >= c.part.NumShards() {
 			c.kill(rw)
@@ -634,12 +650,15 @@ func (c *coordinator) recoverPool() error {
 		assign[rw.id] = append(assign[rw.id], c.snaps[s])
 	}
 	for _, rw := range alive {
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
 		snaps := assign[rw.id]
 		if len(snaps) == 0 {
 			continue
 		}
 		m := msgAssign{Epoch: c.epoch, K: c.barK, Round: c.barRound, Snaps: snaps}
-		if err := sendRetry(rw.conn, mAssign, m.encode(), c.opts.SendRetries); err != nil {
+		if err := sendRetry(c.ctx, rw.conn, mAssign, m.encode(), c.opts.SendRetries); err != nil {
 			c.kill(rw)
 			return errWorkerLost
 		}
@@ -652,7 +671,7 @@ func (c *coordinator) recoverPool() error {
 func (c *coordinator) finish() (*core.Decomposition, error) {
 	fin := msgRound{Epoch: c.epoch, K: c.barK, Round: c.barRound}
 	for _, rw := range c.aliveWorkers() {
-		if err := sendRetry(rw.conn, mFinish, fin.encode(), c.opts.SendRetries); err != nil {
+		if err := sendRetry(c.ctx, rw.conn, mFinish, fin.encode(), c.opts.SendRetries); err != nil {
 			c.kill(rw)
 			continue
 		}
@@ -681,6 +700,7 @@ func (c *coordinator) finish() (*core.Decomposition, error) {
 // connections, closed listener, and a bounded wait for every reader
 // goroutine, in-process worker, and worker process.
 func (c *coordinator) teardown() {
+	//hyperplexvet:ignore budgettick bounded teardown sweep over the worker table; shutdown must proceed under a cancelled ctx
 	for _, rw := range c.workers {
 		if rw == nil {
 			continue
@@ -697,6 +717,7 @@ func (c *coordinator) teardown() {
 			_ = rw.conn.Close()
 		}
 	}
+	//hyperplexvet:ignore budgettick bounded teardown sweep: one non-blocking Close per accepted connection
 	for _, conn := range c.accepted {
 		_ = conn.Close()
 	}
@@ -705,6 +726,7 @@ func (c *coordinator) teardown() {
 	}
 	close(c.done)
 	c.wg.Wait()
+	//hyperplexvet:ignore budgettick bounded teardown sweep: per-process wait is capped by the 3s kill watchdog
 	for _, rw := range c.workers {
 		if rw == nil || rw.cmd == nil {
 			continue

@@ -13,6 +13,7 @@
 package dist
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"hyperplex/internal/core"
+	"hyperplex/internal/csr"
 	"hyperplex/internal/failpoint"
 	"hyperplex/internal/partition"
 )
@@ -65,6 +67,8 @@ var frameMagic = [2]byte{'h', 'x'}
 // Frame types.  Coordinator→worker frames carry the coordinator's
 // epoch; worker→coordinator frames echo it, so replies raced by a
 // recovery are recognized as stale and dropped.
+//
+//hyperplexvet:wiretypes
 const (
 	mHello     = byte(iota + 1) // w→c: protocol version
 	mLoad                       // c→w: shard descriptors + serialized hypergraph
@@ -90,6 +94,8 @@ var ErrCorruptFrame = errors.New("dist: corrupt frame")
 
 // writeFrame encodes and writes one frame.  The failpoint fires before
 // any bytes hit the wire, so an injected failure never half-writes.
+//
+//hyperplexvet:wiresend
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	if err := failpoint.Inject(fpSend); err != nil {
 		return fmt.Errorf("dist: send: %w", err)
@@ -101,7 +107,7 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	hdr[0], hdr[1] = frameMagic[0], frameMagic[1]
 	hdr[2] = protoVersion
 	hdr[3] = typ
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], lenU32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("dist: send: %w", err)
@@ -117,7 +123,11 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 // sendRetry is writeFrame with bounded retry-with-backoff on transient
 // failures: injected faults and network timeouts back off 1, 2, 4…
 // milliseconds; hard errors (a broken connection) return immediately.
-func sendRetry(w io.Writer, typ byte, payload []byte, retries int) error {
+// The backoff waits on ctx, so a cancelled peel abandons the retry
+// sequence at the next attempt boundary instead of sleeping it out.
+//
+//hyperplexvet:wiresend
+func sendRetry(ctx context.Context, w io.Writer, typ byte, payload []byte, retries int) error {
 	backoff := time.Millisecond
 	for attempt := 0; ; attempt++ {
 		err := writeFrame(w, typ, payload)
@@ -130,7 +140,11 @@ func sendRetry(w io.Writer, typ byte, payload []byte, retries int) error {
 		if !transient || attempt >= retries {
 			return err
 		}
-		time.Sleep(backoff)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("dist: send retry abandoned: %w", ctx.Err())
+		case <-time.After(backoff):
+		}
 		backoff *= 2
 	}
 }
@@ -172,6 +186,15 @@ func readFrame(r io.Reader, maxPayload uint32) (typ byte, payload []byte, err er
 	return typ, payload, nil
 }
 
+// lenU32 narrows a length or count for the wire.  Routing it through
+// csr.MustInt32 fails loudly instead of truncating: a count beyond the
+// int32 index space cannot have come from a well-formed in-memory
+// structure, so framing it would only smuggle the corruption across
+// the connection.
+func lenU32(n int) uint32 {
+	return uint32(csr.MustInt32(n))
+}
+
 // enc is an append-only payload builder.
 type enc struct{ b []byte }
 
@@ -180,13 +203,13 @@ func (e *enc) u32(x uint32) {
 }
 func (e *enc) i32(x int32) { e.u32(uint32(x)) }
 func (e *enc) i32s(xs []int32) {
-	e.u32(uint32(len(xs)))
+	e.u32(lenU32(len(xs)))
 	for _, x := range xs {
 		e.i32(x)
 	}
 }
 func (e *enc) bytes(b []byte) {
-	e.u32(uint32(len(b)))
+	e.u32(lenU32(len(b)))
 	e.b = append(e.b, b...)
 }
 
@@ -278,7 +301,8 @@ func decSnapshot(d *dec) *core.ShardSnapshot {
 }
 
 func encSnapshots(e *enc, snaps []*core.ShardSnapshot) {
-	e.u32(uint32(len(snaps)))
+	e.u32(lenU32(len(snaps)))
+	//hyperplexvet:ignore budgettick bounded: one encoding pass over the snapshots being framed; the caller's send path checks ctx
 	for _, sn := range snaps {
 		encSnapshot(e, sn)
 	}
@@ -295,6 +319,7 @@ func decSnapshots(d *dec) []*core.ShardSnapshot {
 		return nil
 	}
 	out := make([]*core.ShardSnapshot, 0, n)
+	//hyperplexvet:ignore budgettick bounded: one decoding pass over a length-validated payload; the read loop checks ctx per frame
 	for i := uint32(0); i < n && d.err == nil; i++ {
 		out = append(out, decSnapshot(d))
 	}
@@ -333,13 +358,14 @@ type msgLoad struct {
 func (m *msgLoad) encode() []byte {
 	var e enc
 	e.u32(m.Epoch)
-	e.u32(uint32(len(m.Descs)))
+	e.u32(lenU32(len(m.Descs)))
 	for _, d := range m.Descs {
 		e.i32(d.First)
 		e.i32(d.Count)
 	}
 	e.i32(m.NumV)
-	e.u32(uint32(len(m.Edges)))
+	e.u32(lenU32(len(m.Edges)))
+	//hyperplexvet:ignore budgettick bounded: one encoding pass over the hypergraph being shipped; the caller's send path checks ctx
 	for _, members := range m.Edges {
 		e.i32s(members)
 	}
@@ -368,6 +394,7 @@ func (m *msgLoad) decode(b []byte) error {
 	}
 	if d.err == nil {
 		m.Edges = make([][]int32, ne)
+		//hyperplexvet:ignore budgettick bounded: one decoding pass over a length-validated payload; the read loop checks ctx per frame
 		for i := range m.Edges {
 			m.Edges[i] = d.i32s()
 			if d.err != nil {

@@ -2,13 +2,17 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
 	"io"
+	"strings"
 	"testing"
+	"time"
 
 	"hyperplex/internal/core"
+	"hyperplex/internal/failpoint"
 	"hyperplex/internal/partition"
 )
 
@@ -226,4 +230,46 @@ func FuzzDecodeFrame(f *testing.F) {
 		_ = rs.decode(payload)
 		_ = em.decode(payload)
 	})
+}
+
+// TestSendRetryAbandonedOnCancel pins the context contract of the send
+// retry loop: with the send failpoint hard-arming every attempt and the
+// context already cancelled, sendRetry surfaces the abandonment error
+// at the first backoff boundary instead of sleeping out the exponential
+// schedule (30 retries would otherwise back off for days).
+func TestSendRetryAbandonedOnCancel(t *testing.T) {
+	if err := failpoint.Enable("dist.send", failpoint.Arm{Mode: failpoint.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable("dist.send")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := sendRetry(ctx, io.Discard, mHello, nil, 30)
+	if err == nil || !strings.Contains(err.Error(), "dist: send retry abandoned") {
+		t.Fatalf("err = %v, want the retry-abandoned error", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("abandonment error does not wrap context.Canceled: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("sendRetry took %v under a cancelled context; the backoff is not ctx-aware", elapsed)
+	}
+}
+
+// TestSendRetryExhaustsBudget pins the other exit: with a live context
+// the loop retries through the budget and returns the underlying
+// injected error once attempts run out.
+func TestSendRetryExhaustsBudget(t *testing.T) {
+	if err := failpoint.Enable("dist.send", failpoint.Arm{Mode: failpoint.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable("dist.send")
+	err := sendRetry(context.Background(), io.Discard, mHello, nil, 2)
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("err = %v, want the injected send failure after the budget", err)
+	}
+	if fired := failpoint.Fired("dist.send"); fired != 3 {
+		t.Errorf("failpoint fired %d times, want 3 (initial attempt + 2 retries)", fired)
+	}
 }

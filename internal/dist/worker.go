@@ -62,6 +62,8 @@ type tagged struct {
 // promotes it to committed.  A Rollback frame names one of the two
 // tags; anything else is a protocol violation.
 type workerState struct {
+	//hyperplexvet:ignore ctxfirst scoped to one ServeWorker call tree, mirroring coordinator
+	ctx  context.Context
 	conn net.Conn
 	opts WorkerOptions
 
@@ -90,7 +92,7 @@ func ServeWorker(ctx context.Context, conn net.Conn, opts WorkerOptions) (err er
 			err = &core.WorkerPanicError{Value: x, Stack: stack}
 		}
 	}()
-	w := &workerState{conn: conn, opts: opts.normalized()}
+	w := &workerState{ctx: ctx, conn: conn, opts: opts.normalized()}
 	if err := w.send(mHello, (&msgHello{Version: protoVersion, ID: int32(w.opts.ID)}).encode()); err != nil {
 		return err
 	}
@@ -173,7 +175,7 @@ func (w *workerState) heartbeatLoop(ctx context.Context, stop <-chan struct{}) {
 func (w *workerState) send(typ byte, payload []byte) error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
-	return sendRetry(w.conn, typ, payload, w.opts.SendRetries)
+	return sendRetry(w.ctx, w.conn, typ, payload, w.opts.SendRetries)
 }
 
 // report best-effort ships a typed failure to the coordinator before
@@ -182,6 +184,7 @@ func (w *workerState) report(err error) {
 	_ = w.send(mError, (&msgError{Epoch: w.epoch, Text: err.Error()}).encode())
 }
 
+//hyperplexvet:wirerecv
 func (w *workerState) handle(ctx context.Context, typ byte, payload []byte) error {
 	switch typ {
 	case mLoad:
@@ -268,12 +271,18 @@ func (w *workerState) assign(m *msgAssign) error {
 	}
 	var snaps []*core.ShardSnapshot
 	for _, s := range m.Fresh {
+		if err := w.ctx.Err(); err != nil {
+			return err
+		}
 		if s < 0 || int(s) >= w.peeler.NumShards() {
 			return fmt.Errorf("dist: assign of unknown shard %d", s)
 		}
 		snaps = append(snaps, w.peeler.AssignFresh(int(s)))
 	}
 	for _, sn := range m.Snaps {
+		if err := w.ctx.Err(); err != nil {
+			return err
+		}
 		if err := w.peeler.AssignSnapshot(sn); err != nil {
 			return err
 		}

@@ -126,6 +126,7 @@ func (b *Builder) Build() (*Hypergraph, error) {
 	}
 	h.vAdj = make([]int32, pins)
 	cursor := append([]int(nil), h.vOff[:nv]...)
+	//hyperplexvet:ignore budgettick bounded: one transpose pass over pins the Ctx readers already charged line by line; Build itself carries no context
 	for f := 0; f < ne; f++ {
 		for _, v := range h.Vertices(f) {
 			h.vAdj[cursor[v]] = int32(f)

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BudgetTick enforces the checkpoint discipline of the Ctx kernels:
+// inside a ...Ctx function, and everything it reaches through
+// same-package calls, no loop may iterate indefinitely without passing
+// a budget/cancellation checkpoint — a run.Tick, failpoint.Inject,
+// ctx.Err()/ctx.Done(), a call to a function that checkpoints, or a
+// call through a func field whose every assigned value checkpoints
+// (the charge-accumulator idiom).  This is the unbounded-retry class
+// of bug: a backoff loop, a drain loop or a cascade that a cancelled
+// context or an exhausted run.Budget cannot interrupt.
+//
+// Bounded scan loops are exempt: a loop with a range clause or a
+// condition whose body has no nested loops, no channel operations and
+// no calls beyond builtins, conversions and trivial accessors finishes
+// one pass over its data and is charged en bloc by the surrounding
+// checkpoints.  Loops with no condition (for {}) are never exempt.
+var BudgetTick = &Analyzer{
+	Name: "budgettick",
+	Doc:  "loops reachable from Ctx kernels must pass a run.Tick/failpoint checkpoint on every iteration path",
+	Run:  runBudgetTick,
+}
+
+func runBudgetTick(pass *Pass) {
+	if !pass.Pkg.IsLibrary() {
+		return
+	}
+	facts := pass.Facts()
+
+	// The Ctx closure: every function reachable from a ...Ctx function
+	// through same-package calls (function literals inside a reachable
+	// function run as part of it and are walked for edges too).
+	inClosure := make(map[types.Object]bool)
+	var visit func(obj types.Object)
+	visit = func(obj types.Object) {
+		if obj == nil || inClosure[obj] {
+			return
+		}
+		fd := facts.FuncDecls[obj]
+		if fd == nil || fd.Body == nil {
+			return
+		}
+		inClosure[obj] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeOf(pass.Pkg, call); callee != nil && callee.Pkg() == pass.Pkg.Types {
+				if _, isFunc := callee.(*types.Func); isFunc {
+					visit(callee)
+				}
+			}
+			return true
+		})
+	}
+	for obj, fd := range facts.FuncDecls {
+		if strings.HasSuffix(fd.Name.Name, "Ctx") {
+			visit(obj)
+		}
+	}
+
+	for obj := range inClosure {
+		fd := facts.FuncDecls[obj]
+		checkBody(pass, facts, fd.Body)
+		// Nested function literals get their own CFG: their loops run
+		// under the same kernel budget.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkBody(pass, facts, lit.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkBody builds the CFG of one function body (FuncLits excluded —
+// they are checked separately) and reports every loop that can cycle
+// without a checkpoint.  A checkpointing statement is collapsed into
+// its block as one atomic node — that is what accepts the interval
+// idiom `if ops >= N { tick }` — but never when it contains a loop:
+// collapsing a loop would hide it from the analysis entirely.
+func checkBody(pass *Pass, facts *PkgFacts, body *ast.BlockStmt) {
+	isCheckpoint := func(s ast.Stmt) bool { return isCheckpointStmt(pass, s) }
+	atomic := func(s ast.Stmt) bool {
+		switch s.(type) {
+		case *ast.BlockStmt, *ast.LabeledStmt:
+			return false // structure, not a checkpoint unit
+		}
+		return !containsLoop(s) && isCheckpoint(s)
+	}
+	g := BuildCFG(body, atomic)
+	blocked := func(b *Block) bool {
+		for _, s := range b.Stmts {
+			if isCheckpoint(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, li := range g.Loops {
+		if exemptScanLoop(pass, li.Stmt) {
+			continue
+		}
+		if g.Reaches(li.Head, li.Latch, blocked) {
+			pass.Reportf(li.Stmt.Pos(), "loop in a Ctx kernel can iterate without passing a run.Tick/failpoint checkpoint; charge the work or check ctx on every path")
+		}
+	}
+}
+
+// isCheckpointStmt reports whether the statement's subtree (function
+// literals excluded) performs a budget/cancellation checkpoint.
+// Checkpointer facts resolve across module package boundaries: a call
+// into another internal package's ticking helper checkpoints too.
+func isCheckpointStmt(pass *Pass, s ast.Stmt) bool {
+	pkg := pass.Pkg
+	hit := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if hit {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isCheckpointPrimitive(pkg, call) {
+			hit = true
+			return false
+		}
+		if callee := calleeOf(pkg, call); callee != nil && callee.Pkg() != nil {
+			if f := pass.FactsFor(callee.Pkg()); f != nil {
+				if f.Checkpointers[callee] || f.CheckpointFields[callee] {
+					hit = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return hit
+}
+
+// containsLoop reports whether the statement's subtree (function
+// literals excluded) holds a for or range loop.
+func containsLoop(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// boundedStdlib names the stdlib packages whose functions do a
+// bounded, non-blocking amount of work per call — pure computation
+// over their arguments.  An exempt scan loop may call into them.  IO
+// and synchronization packages (io, bufio, os, net, time, sync,
+// context) are deliberately absent: a scan that reads, sleeps or
+// blocks per iteration must be charged.
+var boundedStdlib = map[string]bool{
+	"bytes":           true,
+	"cmp":             true,
+	"encoding/binary": true,
+	"errors":          true,
+	"fmt":             true,
+	"maps":            true,
+	"math":            true,
+	"math/bits":       true,
+	"slices":          true,
+	"sort":            true,
+	"strconv":         true,
+	"strings":         true,
+	"sync/atomic":     true,
+	"unicode":         true,
+	"unicode/utf8":    true,
+}
+
+// exemptScanLoop reports whether the loop is a bounded simple scan: a
+// range loop (over anything but a channel) or a condition-guarded for
+// loop whose body is straight-line — no nested loops, selects, channel
+// operations, gotos or function literals — and whose calls are all
+// builtins, conversions, bounded stdlib helpers, or trivial accessors
+// of a module package (resolved through the program-wide facts).  Such
+// a loop finishes one pass over its data; the surrounding checkpoints
+// bound it.
+func exemptScanLoop(pass *Pass, loop ast.Stmt) bool {
+	pkg := pass.Pkg
+	var body *ast.BlockStmt
+	switch loop := loop.(type) {
+	case *ast.ForStmt:
+		if loop.Cond == nil {
+			return false
+		}
+		body = loop.Body
+	case *ast.RangeStmt:
+		if tv, ok := pkg.Info.Types[loop.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return false
+			}
+		}
+		body = loop.Body
+	default:
+		return false
+	}
+	simple := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !simple {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.GoStmt,
+			*ast.DeferStmt, *ast.SendStmt, *ast.FuncLit:
+			simple = false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				simple = false
+			}
+		case *ast.BranchStmt:
+			if n.Tok.String() == "goto" {
+				simple = false
+			}
+		case *ast.CallExpr:
+			if isConversion(pkg, n) {
+				return true
+			}
+			callee := calleeOf(pkg, n)
+			if callee == nil { // builtin
+				return true
+			}
+			if !boundedCallee(pass, callee) {
+				simple = false
+			}
+		}
+		return simple
+	})
+	return simple
+}
+
+// boundedCallee reports whether a call to callee does bounded work: a
+// trivial accessor of a module package, or anything from the bounded
+// stdlib set.
+func boundedCallee(pass *Pass, callee types.Object) bool {
+	tp := callee.Pkg()
+	if tp == nil {
+		return false
+	}
+	if f := pass.FactsFor(tp); f != nil {
+		return f.Trivial[callee]
+	}
+	return boundedStdlib[tp.Path()]
+}

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses a function body and builds its CFG; atomic may be
+// nil.  The body is wrapped in a one-function file so plain go/parser
+// suffices — BuildCFG is syntax-only.
+func buildTestCFG(t *testing.T, body string, atomic func(ast.Stmt) bool) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	file, err := parser.ParseFile(token.NewFileSet(), "cfg_test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing test body: %v", err)
+	}
+	return BuildCFG(file.Decls[0].(*ast.FuncDecl).Body, atomic)
+}
+
+// blockCalling returns the block whose statements include a call to the
+// named function — either as an expression statement or as the wrapped
+// condition expression the builder records for ifs and loop headers.
+func blockCalling(t *testing.T, g *CFG, name string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block calls %s", name)
+	return nil
+}
+
+// onlyLoop returns the single LoopInfo of the graph.
+func onlyLoop(t *testing.T, g *CFG) *LoopInfo {
+	t.Helper()
+	if len(g.Loops) != 1 {
+		t.Fatalf("graph has %d loops, want 1", len(g.Loops))
+	}
+	for _, li := range g.Loops {
+		return li
+	}
+	return nil
+}
+
+// TestCFGEarlyReturn checks that a return leaves the function: the
+// then-branch reaches Exit but not the statements after the if.
+func TestCFGEarlyReturn(t *testing.T) {
+	g := buildTestCFG(t, `
+	a()
+	if cond() {
+		b()
+		return
+	}
+	d()
+`, nil)
+	a, b, d := blockCalling(t, g, "a"), blockCalling(t, g, "b"), blockCalling(t, g, "d")
+	if !g.Reaches(a, d, nil) {
+		t.Error("fallthrough path a -> d missing")
+	}
+	if !g.Reaches(b, g.Exit, nil) {
+		t.Error("return branch does not reach Exit")
+	}
+	if g.Reaches(b, d, nil) {
+		t.Error("return branch leaks past the if to d")
+	}
+	// Blocking the returning branch must still leave the else path open.
+	if !g.Reaches(a, g.Exit, func(blk *Block) bool { return blk == b }) {
+		t.Error("blocking the then-branch cut off the else path to Exit")
+	}
+}
+
+// TestCFGForwardGoto checks that goto jumps over the skipped statements:
+// they become dead blocks that still flow to the label for resolution,
+// but entry never reaches them.
+func TestCFGForwardGoto(t *testing.T) {
+	g := buildTestCFG(t, `
+	a()
+	goto skip
+	b()
+skip:
+	c()
+`, nil)
+	a, b, c := blockCalling(t, g, "a"), blockCalling(t, g, "b"), blockCalling(t, g, "c")
+	if !g.Reaches(a, c, nil) {
+		t.Error("goto edge a -> skip missing")
+	}
+	if g.Reaches(g.Entry, b, nil) || g.Reaches(a, b, nil) {
+		t.Error("statements jumped over by goto are reachable")
+	}
+	if !g.Reaches(c, g.Exit, nil) {
+		t.Error("label body does not reach Exit")
+	}
+}
+
+// TestCFGBackwardGoto checks that a backward goto forms a cycle the
+// self-reachability query sees.
+func TestCFGBackwardGoto(t *testing.T) {
+	g := buildTestCFG(t, `
+	a()
+loop:
+	b()
+	if cond() {
+		goto loop
+	}
+	d()
+`, nil)
+	b, d := blockCalling(t, g, "b"), blockCalling(t, g, "d")
+	if !g.Reaches(b, b, nil) {
+		t.Error("backward goto does not close a cycle through the label")
+	}
+	if !g.Reaches(b, d, nil) {
+		t.Error("loop body cannot fall through to d")
+	}
+	if g.Reaches(d, b, nil) {
+		t.Error("post-loop code reaches back into the goto loop")
+	}
+}
+
+// TestCFGBreakLabel checks that break LABEL exits the labeled outer
+// loop directly: the breaking block reaches the code after the outer
+// loop even when both loop headers are blocked, and never reaches the
+// rest of the inner body.
+func TestCFGBreakLabel(t *testing.T) {
+	g := buildTestCFG(t, `
+outer:
+	for x() {
+		for y() {
+			if cond() {
+				a()
+				break outer
+			}
+			b()
+		}
+	}
+	d()
+`, nil)
+	a, b, d := blockCalling(t, g, "a"), blockCalling(t, g, "b"), blockCalling(t, g, "d")
+	xHead, yHead := blockCalling(t, g, "x"), blockCalling(t, g, "y")
+	heads := func(blk *Block) bool { return blk == xHead || blk == yHead }
+	if !g.Reaches(a, d, heads) {
+		t.Error("break outer does not bypass both loop headers")
+	}
+	if g.Reaches(a, b, nil) {
+		t.Error("break outer flows back into the inner loop body")
+	}
+	if !g.Reaches(b, d, nil) {
+		t.Error("normal inner-body path cannot exit the loops at all")
+	}
+	if g.Reaches(b, d, heads) {
+		t.Error("non-breaking body escaped the loops without passing a header")
+	}
+}
+
+// TestCFGContinueLabel checks that continue LABEL targets the outer
+// latch: the continuing block starts the next outer iteration without
+// touching the inner loop header again.
+func TestCFGContinueLabel(t *testing.T) {
+	g := buildTestCFG(t, `
+outer:
+	for x() {
+		a()
+		for y() {
+			if cond() {
+				m()
+				continue outer
+			}
+			b()
+		}
+	}
+	d()
+`, nil)
+	a, b, m := blockCalling(t, g, "a"), blockCalling(t, g, "b"), blockCalling(t, g, "m")
+	yHead := blockCalling(t, g, "y")
+	noYHead := func(blk *Block) bool { return blk == yHead }
+	if !g.Reaches(m, a, noYHead) {
+		t.Error("continue outer does not restart the outer body around the inner header")
+	}
+	if g.Reaches(b, a, noYHead) {
+		t.Error("plain inner-body path restarted the outer loop without its header")
+	}
+}
+
+// TestCFGDefer checks that defer and go statements are straight-line:
+// control continues past them instead of leaving the function.
+func TestCFGDefer(t *testing.T) {
+	g := buildTestCFG(t, `
+	defer cleanup()
+	if cond() {
+		return
+	}
+	a()
+`, nil)
+	a := blockCalling(t, g, "a")
+	if !g.Reaches(g.Entry, a, nil) {
+		t.Error("defer statement terminated the path before a")
+	}
+	var deferBlock *Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			if _, ok := s.(*ast.DeferStmt); ok {
+				deferBlock = b
+			}
+		}
+	}
+	if deferBlock == nil {
+		t.Fatal("defer statement recorded in no block")
+	}
+	if !g.Reaches(deferBlock, a, nil) {
+		t.Error("block holding the defer does not flow on to a")
+	}
+}
+
+// TestCFGLoopAnatomy checks the LoopInfo wiring of a plain for loop:
+// the header cycles through the latch and only through the latch, and
+// the exit is where control lands afterwards.
+func TestCFGLoopAnatomy(t *testing.T) {
+	g := buildTestCFG(t, `
+	for x() {
+		a()
+	}
+	d()
+`, nil)
+	li := onlyLoop(t, g)
+	if li.Head != blockCalling(t, g, "x") {
+		t.Error("loop Head is not the block evaluating the condition")
+	}
+	if !g.Reaches(li.Head, li.Head, nil) {
+		t.Error("loop header has no cycle back to itself")
+	}
+	if g.Reaches(li.Head, li.Head, func(blk *Block) bool { return blk == li.Latch }) {
+		t.Error("loop cycles without passing its latch")
+	}
+	if !g.Reaches(li.Exit, blockCalling(t, g, "d"), nil) && li.Exit != blockCalling(t, g, "d") {
+		t.Error("loop exit does not lead to the code after the loop")
+	}
+	d := blockCalling(t, g, "d")
+	if g.Reaches(d, d, nil) {
+		t.Error("straight-line block reports a cycle to itself")
+	}
+}
+
+// TestCFGAtomic checks the atomic callback: a statement it names is one
+// opaque node, so its internal return does not split the block or cut
+// the fallthrough edge.
+func TestCFGAtomic(t *testing.T) {
+	g := buildTestCFG(t, `
+	a()
+	if cond() {
+		return
+	}
+	b()
+`, func(s ast.Stmt) bool {
+		_, ok := s.(*ast.IfStmt)
+		return ok
+	})
+	a, b := blockCalling(t, g, "a"), blockCalling(t, g, "b")
+	if a != b {
+		t.Error("atomic if split the surrounding block")
+	}
+	if len(g.Blocks) != 2 { // entry and exit only
+		t.Errorf("graph has %d blocks, want 2 (entry+exit) with the if collapsed", len(g.Blocks))
+	}
+	if !g.Reaches(g.Entry, g.Exit, nil) {
+		t.Error("entry does not reach exit")
+	}
+}
+
+// TestCFGPanicTerminates checks that a direct panic call ends the path:
+// nothing after it in the same list is reachable.
+func TestCFGPanicTerminates(t *testing.T) {
+	g := buildTestCFG(t, `
+	a()
+	panic("boom")
+	b()
+`, nil)
+	a, b := blockCalling(t, g, "a"), blockCalling(t, g, "b")
+	if !g.Reaches(a, g.Exit, nil) {
+		t.Error("panic does not link to Exit")
+	}
+	if g.Reaches(a, b, nil) {
+		t.Error("statements after panic are reachable")
+	}
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// hasNamed reports whether the fact set contains an object with the
+// given name.  Facts are keyed by types.Object, which tests cannot
+// construct; matching by name against the real repo packages is the
+// stable way to pin membership.
+func hasNamed(facts map[types.Object]bool, name string) bool {
+	for obj, ok := range facts {
+		if ok && obj != nil && obj.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCollectFactsMultiPackage loads two real packages in one program
+// and checks the registry computed for each: the directive-backed facts
+// of internal/core (outbox fields, phase kinds, hotpath marks) and the
+// fixpoint facts of internal/csr (checkpointers, the checkpoint-field
+// idiom, trivial accessors, arena-owned peeler state, failpoint sites).
+func TestCollectFactsMultiPackage(t *testing.T) {
+	prog, err := Load("../..", "./internal/csr", "./internal/core")
+	if err != nil {
+		t.Fatalf("loading csr+core: %v", err)
+	}
+	all := CollectFacts(prog)
+	csr, core := all["hyperplex/internal/csr"], all["hyperplex/internal/core"]
+	if csr == nil || core == nil {
+		t.Fatalf("CollectFacts keys = %v, want both csr and core", keysOf(all))
+	}
+
+	for _, site := range []string{"csr.build", "csr.peel"} {
+		if _, ok := csr.FailpointSites[site]; !ok {
+			t.Errorf("csr facts missing failpoint site %q", site)
+		}
+	}
+	for _, fn := range []string{"checkpointBuild", "checkpointPeel", "charge"} {
+		if !hasNamed(csr.Checkpointers, fn) {
+			t.Errorf("csr checkpointer fixpoint missing %s", fn)
+		}
+	}
+	// Every value assigned to peeler.checkpoint is a checkpointer, so a
+	// call through the field always checkpoints — the charge idiom.
+	if !hasNamed(csr.CheckpointFields, "checkpoint") {
+		t.Error("peeler.checkpoint not recognized as an always-checkpointing field")
+	}
+	// Loop-free accessors over builtins stay trivial.
+	for _, fn := range []string{"NumVertices", "NumEdges", "VertexEdges"} {
+		if !hasNamed(csr.Trivial, fn) {
+			t.Errorf("csr trivial fixpoint missing accessor %s", fn)
+		}
+	}
+	// The peeler's scan-stamp fields and drop worklist are carved from
+	// one arena, so hotalloc lets appends to them through.
+	for _, f := range []string{"stamp", "estamp", "mem", "drop"} {
+		if !hasNamed(csr.ArenaOwned, f) {
+			t.Errorf("peeler %s not arena-owned", f)
+		}
+	}
+
+	if !hasNamed(core.OutboxFields, "outV") || !hasNamed(core.OutboxFields, "outE") {
+		t.Error("core outbox marks on shardPeel.outV/outE not collected")
+	}
+	kinds := map[string]int{}
+	for _, kind := range core.Phases {
+		kinds[kind]++
+	}
+	if kinds["owned"] == 0 || kinds["drain"] == 0 {
+		t.Errorf("core phase marks = %v, want both owned and drain functions", kinds)
+	}
+	marked := 0
+	for _, lines := range core.HotMarks {
+		marked += len(lines)
+	}
+	if marked == 0 {
+		t.Error("core hotpath marks not collected")
+	}
+}
+
+// TestFactsForCrossPackage checks the cross-package resolution path an
+// analyzer uses: a pass over internal/core asks for the facts of its
+// internal/csr import and gets the same registry a direct load would
+// compute, while stdlib imports resolve to nil.
+func TestFactsForCrossPackage(t *testing.T) {
+	prog, err := Load("../..", "./internal/core")
+	if err != nil {
+		t.Fatalf("loading core: %v", err)
+	}
+	if len(prog.Pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(prog.Pkgs))
+	}
+	pass := &Pass{Fset: prog.Fset, Pkg: prog.Pkgs[0], Prog: prog}
+
+	if pass.FactsFor(prog.Pkgs[0].Types) != pass.Facts() {
+		t.Error("FactsFor of the pass's own package is not its Facts()")
+	}
+	var csrT, stdT *types.Package
+	for _, imp := range prog.Pkgs[0].Types.Imports() {
+		switch {
+		case imp.Path() == "hyperplex/internal/csr":
+			csrT = imp
+		case stdT == nil && !isModulePath(imp.Path()):
+			stdT = imp
+		}
+	}
+	if csrT == nil {
+		t.Fatal("core no longer imports hyperplex/internal/csr; pick another import for this test")
+	}
+	facts := pass.FactsFor(csrT)
+	if facts == nil {
+		t.Fatal("FactsFor returned nil for a module-internal import")
+	}
+	if !hasNamed(facts.Checkpointers, "checkpointPeel") {
+		t.Error("cross-package csr facts missing checkpointPeel")
+	}
+	if facts != pass.FactsFor(csrT) {
+		t.Error("FactsFor does not memoize: two calls returned different registries")
+	}
+	if stdT == nil {
+		t.Fatal("core has no stdlib import to probe")
+	}
+	if pass.FactsFor(stdT) != nil {
+		t.Errorf("FactsFor(%s) = non-nil, want nil for stdlib", stdT.Path())
+	}
+}
+
+func isModulePath(p string) bool {
+	return p == "hyperplex" || len(p) > len("hyperplex/") && p[:len("hyperplex/")] == "hyperplex/"
+}
+
+func keysOf(m map[string]*PkgFacts) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -98,6 +98,26 @@ func TestErrWrapFixture(t *testing.T) {
 	runFixture(t, "errwrap", []*Analyzer{ErrWrap}, nil)
 }
 
+func TestBudgetTickFixture(t *testing.T) {
+	runFixture(t, "budgettick", []*Analyzer{BudgetTick}, nil)
+}
+
+func TestInt32NarrowFixture(t *testing.T) {
+	runFixture(t, "int32narrow", []*Analyzer{Int32Narrow}, nil)
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, "hotalloc", []*Analyzer{HotAlloc}, nil)
+}
+
+func TestWireDispatchFixture(t *testing.T) {
+	runFixture(t, "wiredispatch", []*Analyzer{WireDispatch}, nil)
+}
+
+func TestSnapshotPhaseFixture(t *testing.T) {
+	runFixture(t, "snapshotphase", []*Analyzer{SnapshotPhase}, nil)
+}
+
 // TestSuppressFixture checks both suppression outcomes: well-formed
 // directives silence the analyzer (Invariant and Trailing report
 // nothing), while a directive missing its reason or naming an unknown

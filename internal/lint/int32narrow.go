@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Int32Narrow flags unchecked narrowing conversions of size-derived
+// values: an int32(x) or uint32(x) whose operand is built from a
+// len/cap or a size accessor (Num*, Len, Count, Size).  Sizes that are
+// sums over the input — pin counts, arena extents, wire lengths — can
+// exceed 2^31 even when every individual ID fits int32, and a bare
+// conversion silently truncates instead of failing.  The sanctioned
+// forms are csr.MustInt32 (panics with a diagnosable message) and the
+// dist cap checks that bound the value first.
+var Int32Narrow = &Analyzer{
+	Name: "int32narrow",
+	Doc:  "int→int32/uint32 conversions of size-derived values must go through csr.MustInt32 or an explicit cap check",
+	Run:  runInt32Narrow,
+}
+
+func runInt32Narrow(pass *Pass) {
+	if !pass.Pkg.IsLibrary() {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 || !isConversion(pass.Pkg, call) {
+				return true
+			}
+			to, ok := pass.Pkg.Info.Types[call.Fun]
+			if !ok || !isNarrow32(to.Type) {
+				return true
+			}
+			arg := call.Args[0]
+			from, ok := pass.Pkg.Info.Types[arg]
+			if !ok || from.Type == nil || !isWideInt(from.Type) {
+				return true
+			}
+			if from.Value != nil {
+				return true // constant-folded, checked at compile time
+			}
+			if src := sizeSource(pass.Pkg, arg); src != "" {
+				pass.Reportf(call.Pos(), "unchecked %s narrowing of size-derived value (%s); use csr.MustInt32 or bound the value first",
+					to.Type.Underlying().String(), src)
+			}
+			return true
+		})
+	}
+}
+
+// isNarrow32 reports whether t is (a named type of) int32 or uint32.
+func isNarrow32(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Int32 || b.Kind() == types.Uint32)
+}
+
+// isWideInt reports whether t is an integer type wider than 32 bits on
+// 64-bit targets (int, uint, int64, uint64, uintptr).
+func isWideInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int, types.Uint, types.Int64, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+// sizeSource reports how the expression derives from a size — the name
+// of the len/cap builtin or size accessor found in its subtree — or ""
+// when it does not.
+func sizeSource(pkg *Package, e ast.Expr) string {
+	src := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if src != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBuiltinCall(pkg, call, "len") || isBuiltinCall(pkg, call, "cap") {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				src = id.Name
+			}
+			return false
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if strings.HasPrefix(name, "Num") || name == "Len" || name == "Count" || name == "Size" {
+			src = name
+			return false
+		}
+		return true
+	})
+	return src
+}

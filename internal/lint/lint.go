@@ -40,7 +40,10 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{CtxFirst, CtxPair, ErrWrap, FailpointSite, GoRecover, NoPanic}
+	return []*Analyzer{
+		BudgetTick, CtxFirst, CtxPair, ErrWrap, FailpointSite, GoRecover,
+		HotAlloc, Int32Narrow, NoPanic, SnapshotPhase, WireDispatch,
+	}
 }
 
 // Diagnostic is one finding, resolved to a file position.
@@ -59,7 +62,10 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
-	report   func(Diagnostic)
+	// Prog is the load the package came from; it lets analyzers resolve
+	// facts about module-internal callees in other packages.
+	Prog   *Program
+	report func(Diagnostic)
 }
 
 // Reportf records a diagnostic at pos unless an ignore directive
@@ -94,6 +100,7 @@ func RunSuite(prog *Program, analyzers []*Analyzer) []Diagnostic {
 				Analyzer: a,
 				Fset:     prog.Fset,
 				Pkg:      pkg,
+				Prog:     prog,
 				report: func(d Diagnostic) {
 					if !sup.covers(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
 						diags = append(diags, d)
@@ -147,23 +154,34 @@ func (s suppressions) add(file string, line int, analyzer string) {
 	names[analyzer] = true
 }
 
-// scanIgnores collects the ignore directives of every file in the
-// package.  A directive in a standalone comment group applies to the
-// first line after the group (so directives stack above the code they
-// cover); a trailing directive applies to its own line.  Malformed
-// directives — no reason, unknown analyzer, unknown verb — come back
-// as unsuppressible diagnostics under the pseudo-analyzer name
-// "hyperplexvet".
-func scanIgnores(fset *token.FileSet, pkg *Package, known map[string]bool) (suppressions, []Diagnostic) {
-	sup := make(suppressions)
-	var bad []Diagnostic
-	report := func(pos token.Pos, format string, args ...any) {
-		bad = append(bad, Diagnostic{
-			Pos:      fset.Position(pos),
-			Analyzer: "hyperplexvet",
-			Message:  fmt.Sprintf(format, args...),
-		})
-	}
+// directive is one parsed //hyperplexvet: comment: its verb, the raw
+// text after the verb, and the source line it governs (its own line
+// when trailing code, the first line after the comment group when the
+// group stands alone).
+type directive struct {
+	verb       string
+	args       string
+	pos        token.Pos
+	file       string
+	targetLine int
+}
+
+// directiveVerbs is every defined directive.  ignore suppresses
+// diagnostics (handled by scanIgnores); the marker verbs are collected
+// into the facts registry and consumed by the flow-sensitive analyzers.
+var directiveVerbs = map[string]bool{
+	"ignore":    true, // ignore <analyzers> <reason>
+	"hotpath":   true, // marks a function or statement as an allocation-free region
+	"wiretypes": true, // marks the const block declaring the wire frame types
+	"wiresend":  true, // marks a func whose first byte param is a frame type being sent
+	"wirerecv":  true, // marks a func whose first byte param is a dispatch position
+	"outbox":    true, // marks a struct field as BSP outbox state
+	"phase":     true, // phase <owned|drain>: marks a BSP phase function
+}
+
+// packageDirectives parses every hyperplexvet directive in the package.
+func packageDirectives(fset *token.FileSet, pkg *Package) []directive {
+	var out []directive
 	for _, file := range pkg.Files {
 		filename := fset.Position(file.Pos()).Filename
 		src := pkg.Sources[filename]
@@ -174,27 +192,68 @@ func scanIgnores(fset *token.FileSet, pkg *Package, known map[string]bool) (supp
 				if !ok {
 					continue
 				}
-				args, ok := strings.CutPrefix(rest, "ignore")
-				if !ok {
-					report(c.Pos(), "unknown directive %q (only \"ignore\" is defined)", directivePrefix+rest)
-					continue
-				}
-				fields := strings.Fields(args)
-				if (args != "" && args[0] != ' ' && args[0] != '\t') || len(fields) < 2 {
-					report(c.Pos(), "malformed ignore directive: want %signore <analyzers> <reason>", directivePrefix)
-					continue
-				}
+				verb, args, _ := strings.Cut(rest, " ")
 				target := fset.Position(c.Pos()).Line
 				if standalone {
 					target = fset.Position(group.End()).Line + 1
 				}
-				for _, name := range strings.Split(fields[0], ",") {
-					if !known[name] {
-						report(c.Pos(), "ignore directive names unknown analyzer %q", name)
-						continue
-					}
-					sup.add(filename, target, name)
+				out = append(out, directive{
+					verb:       verb,
+					args:       args,
+					pos:        c.Pos(),
+					file:       filename,
+					targetLine: target,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// scanIgnores collects the ignore directives of every file in the
+// package.  A directive in a standalone comment group applies to the
+// first line after the group (so directives stack above the code they
+// cover); a trailing directive applies to its own line.  Malformed
+// directives — no reason, unknown analyzer, unknown verb, a marker
+// verb with bad arguments — come back as unsuppressible diagnostics
+// under the pseudo-analyzer name "hyperplexvet".
+func scanIgnores(fset *token.FileSet, pkg *Package, known map[string]bool) (suppressions, []Diagnostic) {
+	sup := make(suppressions)
+	var bad []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: "hyperplexvet",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range packageDirectives(fset, pkg) {
+		if !directiveVerbs[d.verb] {
+			verbs := make([]string, 0, len(directiveVerbs))
+			for v := range directiveVerbs {
+				verbs = append(verbs, v)
+			}
+			sort.Strings(verbs)
+			report(d.pos, "unknown directive %s%s (defined: %s)", directivePrefix, d.verb, strings.Join(verbs, ", "))
+			continue
+		}
+		switch d.verb {
+		case "ignore":
+			fields := strings.Fields(d.args)
+			if len(fields) < 2 {
+				report(d.pos, "malformed ignore directive: want %signore <analyzers> <reason>", directivePrefix)
+				continue
+			}
+			for _, name := range strings.Split(fields[0], ",") {
+				if !known[name] {
+					report(d.pos, "ignore directive names unknown analyzer %q", name)
+					continue
 				}
+				sup.add(d.file, d.targetLine, name)
+			}
+		case "phase":
+			if kind := strings.TrimSpace(d.args); kind != "owned" && kind != "drain" {
+				report(d.pos, "malformed phase directive: want %sphase <owned|drain>, got %q", directivePrefix, kind)
 			}
 		}
 	}

@@ -34,6 +34,9 @@ type Package struct {
 	// Sources maps each file name to its raw content, so the ignore
 	// scanner can tell trailing directives from standalone ones.
 	Sources map[string][]byte
+
+	// facts memoizes the package's facts registry (see facts.go).
+	facts *PkgFacts
 }
 
 // IsLibrary reports whether the package is library code — the module
@@ -51,6 +54,18 @@ type Program struct {
 	Module string
 	Root   string
 	Pkgs   []*Package
+
+	// byTypes indexes every module-internal package the load touched —
+	// requested or imported — by its go/types package, so analyzers can
+	// resolve facts about callees across package boundaries.
+	byTypes map[*types.Package]*Package
+}
+
+// PackageFor returns the loaded module package behind a go/types
+// package, or nil when tp is outside the module (stdlib) or was not
+// part of this load.
+func (prog *Program) PackageFor(tp *types.Package) *Package {
+	return prog.byTypes[tp]
 }
 
 // Load resolves the given patterns relative to dir and parses and
@@ -101,6 +116,10 @@ func Load(dir string, patterns ...string) (*Program, error) {
 		prog.Pkgs = append(prog.Pkgs, pkg)
 	}
 	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	prog.byTypes = make(map[*types.Package]*Package, len(l.pkgs))
+	for _, pkg := range l.pkgs {
+		prog.byTypes[pkg.Types] = pkg
+	}
 	return prog, nil
 }
 

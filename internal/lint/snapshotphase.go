@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// SnapshotPhase enforces the BSP phase-separation rule of the sharded
+// engine: within one phase a shard touches only its own peel state,
+// and data crosses shards exclusively through outbox fields around an
+// exchange barrier.  Phase functions are marked //hyperplexvet:phase
+// <owned|drain>; outbox fields are marked //hyperplexvet:outbox.  A
+// shard's own peel is the element of the peels slice indexed by the
+// phase's first parameter (and locals bound to it).  An owned phase
+// may not reach into any other shard's peel at all.  A drain phase may
+// read other shards' outbox fields and reset them to length zero, but
+// may not read their other state, write anything else into them, or —
+// checked over the control-flow graph — both drain a foreign outbox
+// and append to one of its own outboxes on the same execution path
+// (send and drain belong to different sides of a barrier).
+var SnapshotPhase = &Analyzer{
+	Name: "snapshotphase",
+	Doc:  "BSP phases touch only their own shard; cross-shard data moves through outbox fields across a barrier",
+	Run:  runSnapshotPhase,
+}
+
+func runSnapshotPhase(pass *Pass) {
+	facts := pass.Facts()
+	if len(facts.Phases) == 0 {
+		return
+	}
+	for fd, kind := range facts.Phases {
+		checkPhase(pass, facts, fd, kind)
+	}
+}
+
+func checkPhase(pass *Pass, facts *PkgFacts, fd *ast.FuncDecl, kind string) {
+	if fd.Body == nil {
+		return
+	}
+	params := paramObjects(pass.Pkg, fd)
+	if len(params) == 0 {
+		pass.Reportf(fd.Pos(), "phase function must take the shard index as its first parameter")
+		return
+	}
+	shardParam := params[0]
+
+	// Locals aliasing the own peel: p := peels[s].
+	ownAlias := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if ie, ok := ast.Unparen(as.Rhs[i]).(*ast.IndexExpr); ok &&
+				isPeelsSlice(pass.Pkg, facts, ie.X) && indexIsParam(pass.Pkg, ie.Index, shardParam) {
+				if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+					ownAlias[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// foreignOf classifies an expression's peel access: the foreign
+	// peels-index it roots at, or nil for own/none.
+	foreignIndex := func(e ast.Expr) *ast.IndexExpr {
+		ie, ok := ast.Unparen(e).(*ast.IndexExpr)
+		if !ok || !isPeelsSlice(pass.Pkg, facts, ie.X) {
+			return nil
+		}
+		if indexIsParam(pass.Pkg, ie.Index, shardParam) {
+			return nil
+		}
+		return ie
+	}
+
+	// One walk classifies every statement: does it drain (touch a
+	// foreign outbox), and does it send (append to an own outbox)?
+	// Foreign accesses that are not outbox-field selections, and
+	// foreign-outbox writes that are not length-zero resets, are
+	// reported here.
+	consumed := make(map[*ast.IndexExpr]bool)
+	isDrainNode := func(n ast.Node) bool {
+		drain := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if sel, ok := m.(*ast.SelectorExpr); ok {
+				if ie := foreignIndex(sel.X); ie != nil {
+					consumed[ie] = true
+					obj := selectedField(pass.Pkg, sel)
+					if obj != nil && facts.OutboxFields[obj] {
+						drain = true
+					} else {
+						pass.Reportf(sel.Pos(), "%s phase reads another shard's non-outbox state; phases may only see foreign outboxes", kind)
+					}
+				}
+			}
+			return true
+		})
+		return drain
+	}
+	isSendNode := func(n ast.Node) bool {
+		send := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || !isBuiltinCall(pass.Pkg, call, "append") || len(call.Args) == 0 {
+				return true
+			}
+			if obj := baseObject(pass.Pkg, call.Args[0]); obj != nil && facts.OutboxFields[obj] {
+				if foreignIndexIn(pass.Pkg, facts, call.Args[0], shardParam) == nil {
+					send = true
+				}
+			}
+			return true
+		})
+		return send
+	}
+
+	if kind == "owned" {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				if ie := foreignIndex(e); ie != nil && !consumed[ie] {
+					consumed[ie] = true
+					pass.Reportf(ie.Pos(), "owned phase accesses another shard's peel; move the hand-off into an outbox and a drain phase")
+				}
+			}
+			return true
+		})
+		return
+	}
+
+	// Drain phase: build the CFG and mark send/drain blocks.
+	g := BuildCFG(fd.Body, nil)
+	var sendBlocks, drainBlocks []*Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			sends, drains := isSendNode(s), isDrainNode(s)
+			if sends && drains {
+				pass.Reportf(s.Pos(), "statement both appends to an own outbox and touches a foreign outbox; send and drain sit on opposite sides of a barrier")
+			}
+			if sends {
+				sendBlocks = append(sendBlocks, b)
+			}
+			if drains {
+				drainBlocks = append(drainBlocks, b)
+			}
+		}
+	}
+	reported := false
+	for _, sb := range sendBlocks {
+		for _, db := range drainBlocks {
+			if reported {
+				break
+			}
+			if sb == db || g.Reaches(sb, db, nil) || g.Reaches(db, sb, nil) {
+				pass.Reportf(fd.Pos(), "drain phase both drains foreign outboxes and appends to its own on one execution path; split the phase at the barrier")
+				reported = true
+			}
+		}
+	}
+
+	// Foreign-outbox writes must be length-zero resets.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if foreignIndexIn(pass.Pkg, facts, lhs, shardParam) == nil {
+				continue
+			}
+			if i < len(as.Rhs) && isResetSlice(pass.Pkg, as.Rhs[i]) {
+				continue
+			}
+			pass.Reportf(as.Pos(), "drain phase may only reset a foreign outbox to length zero (x = buf[:0]), not write into it")
+		}
+		return true
+	})
+
+	// Any remaining unconsumed foreign access (e.g. aliasing a whole
+	// foreign peel into a local) is a violation.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			if ie := foreignIndex(e); ie != nil && !consumed[ie] {
+				consumed[ie] = true
+				pass.Reportf(ie.Pos(), "drain phase may only select outbox fields of another shard's peel")
+			}
+		}
+		return true
+	})
+}
+
+// isPeelsSlice reports whether e is a slice (or array) whose element
+// type, behind a pointer, is a struct declaring an outbox field.
+func isPeelsSlice(pkg *Package, facts *PkgFacts, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var elem types.Type
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		elem = t.Elem()
+	case *types.Array:
+		elem = t.Elem()
+	default:
+		return false
+	}
+	if ptr, ok := elem.Underlying().(*types.Pointer); ok {
+		elem = ptr.Elem()
+	}
+	st, ok := elem.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if facts.OutboxFields[st.Field(i)] {
+			return true
+		}
+	}
+	return false
+}
+
+// indexIsParam reports whether the index expression is exactly the
+// given parameter.
+func indexIsParam(pkg *Package, idx ast.Expr, param types.Object) bool {
+	id, ok := ast.Unparen(idx).(*ast.Ident)
+	return ok && pkg.Info.Uses[id] == param
+}
+
+// foreignIndexIn finds a foreign peels-index anywhere inside e.
+func foreignIndexIn(pkg *Package, facts *PkgFacts, e ast.Expr, shardParam types.Object) *ast.IndexExpr {
+	var found *ast.IndexExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if ie, ok := n.(*ast.IndexExpr); ok && isPeelsSlice(pkg, facts, ie.X) &&
+			!indexIsParam(pkg, ie.Index, shardParam) {
+			found = ie
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// selectedField resolves the field object a selector picks, nil for
+// methods and package selectors.
+func selectedField(pkg *Package, sel *ast.SelectorExpr) types.Object {
+	if s := pkg.Info.Selections[sel]; s != nil {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	return nil
+}
+
+// isResetSlice reports whether e reslices something to length zero
+// (buf[:0] or buf[:0:c]).
+func isResetSlice(pkg *Package, e ast.Expr) bool {
+	se, ok := ast.Unparen(e).(*ast.SliceExpr)
+	if !ok || se.High == nil {
+		return false
+	}
+	tv, ok := pkg.Info.Types[se.High]
+	return ok && tv.Value != nil && constant.Sign(tv.Value) == 0
+}

@@ -1,0 +1,156 @@
+// Package budgettick is a fixture for the budgettick analyzer.
+package budgettick
+
+import (
+	"context"
+
+	"hyperplex/internal/run"
+)
+
+// SumCtx checkpoints every 64 iterations through an interval guard.
+// The guard if-statement contains a checkpoint, so the CFG collapses
+// it into the block as one atomic node; every iteration path passes
+// through it and the loop is accepted.
+func SumCtx(ctx context.Context, xs []int) (int, error) {
+	m := run.MeterFrom(ctx)
+	sum, ops := 0, 0
+	for i := 0; i < len(xs); i++ {
+		ops++
+		if ops >= 64 {
+			ops = 0
+			if err := run.Tick(ctx, m, 64); err != nil {
+				return 0, err
+			}
+		}
+		sum += mix(xs[i])
+	}
+	return sum, nil
+}
+
+// mix is deliberately non-trivial (it loops), so loops calling it do
+// not qualify as exempt simple scans; its own loop is a call-free
+// bounded scan and is exempt.
+func mix(x int) int {
+	h := x
+	for h > 0xff {
+		h = (h >> 8) ^ (h & 0xff)
+	}
+	return h
+}
+
+// RetryCtx spins until success with no way for a cancelled context or
+// an exhausted budget to interrupt: the unbounded-retry bug class.
+func RetryCtx(ctx context.Context) error {
+	for { // want "can iterate without passing a run.Tick/failpoint checkpoint"
+		if tryOnce() {
+			return nil
+		}
+	}
+}
+
+func tryOnce() bool { return true }
+
+// PollCtx is the same loop made legal by checking ctx on every
+// iteration.
+func PollCtx(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if tryOnce() {
+			return nil
+		}
+	}
+}
+
+// SkipCtx ticks on the long path, but the continue bypasses the
+// checkpoint: the CFG finds the unchecked iteration path.
+func SkipCtx(ctx context.Context, xs []int) error {
+	m := run.MeterFrom(ctx)
+	for _, x := range xs { // want "can iterate without passing a run.Tick/failpoint checkpoint"
+		if x < 0 {
+			continue
+		}
+		if err := run.Tick(ctx, m, 1); err != nil {
+			return err
+		}
+		_ = mix(x)
+	}
+	return nil
+}
+
+// peeler mirrors the kernel charge-accumulator idiom: charge counts
+// work and fires the checkpoint func field, whose every assigned value
+// checkpoints, so a loop that charges each iteration passes.
+type peeler struct {
+	checkpoint func(n int)
+	ctx        context.Context
+	meter      *run.Meter
+	ops        int
+}
+
+func (p *peeler) fire(n int) {
+	p.ops = 0
+	if err := run.Tick(p.ctx, p.meter, int64(n)); err != nil {
+		panic(err)
+	}
+}
+
+func (p *peeler) charge(n int) {
+	p.ops += n
+	if p.ops >= 64 {
+		p.checkpoint(p.ops)
+	}
+}
+
+// DrainCtx charges every pop; the accumulator idiom makes charge a
+// checkpointer even though the Tick is two hops away.
+func DrainCtx(ctx context.Context, xs []int) {
+	p := &peeler{ctx: ctx, meter: run.MeterFrom(ctx)}
+	p.checkpoint = p.fire
+	for _, x := range xs {
+		p.charge(1)
+		_ = mix(x)
+	}
+}
+
+// ScanOuterCtx ticks once per outer round; the inner scan is an exempt
+// bounded pass and its labeled break leaves both loops.
+func ScanOuterCtx(ctx context.Context, xs []int) error {
+	m := run.MeterFrom(ctx)
+outer:
+	for {
+		for _, x := range xs {
+			if x == 0 {
+				break outer
+			}
+		}
+		if err := run.Tick(ctx, m, int64(len(xs))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WalkCtx hides the retry loop inside a function literal; literals run
+// under the kernel's budget and are checked with their own CFG.
+func WalkCtx(ctx context.Context, xs []int) {
+	each := func(f func(int) bool) {
+		for { // want "can iterate without passing a run.Tick/failpoint checkpoint"
+			if f(len(xs)) {
+				return
+			}
+		}
+	}
+	each(func(n int) bool { return n == 0 })
+}
+
+// spin is not reachable from any Ctx kernel, so its unchecked loop is
+// outside budgettick's scope.
+func spin() {
+	for {
+		if tryOnce() {
+			return
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package hotalloc is a fixture for the hotalloc analyzer.
+package hotalloc
+
+type kern struct {
+	buf []int32
+	out []int32
+}
+
+// newKern carves buf from a single arena allocation — the idiom that
+// makes buf arena-owned for the whole package.
+func newKern(n int) *kern {
+	arena := make([]int32, 2*n)
+	carve := func(sz int) []int32 {
+		s := arena[:sz:sz]
+		arena = arena[sz:]
+		return s
+	}
+	k := &kern{}
+	k.buf = carve(n)[:0]
+	return k
+}
+
+// hot is a whole-function hotpath region: every allocation form is
+// banned, and append is only allowed into arena-owned storage.
+//
+//hyperplexvet:hotpath
+func (k *kern) hot(xs []int32) {
+	k.out = append(k.out, xs...) // want "append to non-arena slice"
+	tmp := make([]int32, 4)      // want "make allocates in a hotpath region"
+	_ = tmp
+	m := map[int]int{} // want "composite literal allocates in a hotpath region"
+	_ = m
+	f := func() {} // want "closure literal allocates in a hotpath region"
+	f()
+	p := &kern{} // want "composite literal allocates in a hotpath region"
+	_ = p
+	k.buf = append(k.buf, 1) // arena-owned: recycles carved storage
+}
+
+// mixed has a statement-level region: only the marked loop is policed,
+// the setup above it allocates freely.
+func mixed(n int) []int32 {
+	out := make([]int32, 0, n)
+	k := newKern(n)
+	//hyperplexvet:hotpath
+	for i := 0; i < n; i++ {
+		k.buf = append(k.buf, int32(i))
+		out = append(out, int32(i)) // want "append to non-arena slice"
+	}
+	return out
+}
+
+var _ = mixed
+var _ = (*kern).hot

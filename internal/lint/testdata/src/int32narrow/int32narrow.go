@@ -1,0 +1,32 @@
+// Package int32narrow is a fixture for the int32narrow analyzer.
+package int32narrow
+
+import "hyperplex/internal/csr"
+
+type table struct{}
+
+// NumRows is a size accessor by naming convention.
+func (table) NumRows() int { return 0 }
+
+// width is not a size accessor: the name carries no size meaning.
+func (table) width() int { return 0 }
+
+func narrowings(xs []int, t table) []int32 {
+	a := int32(len(xs))         // want "unchecked int32 narrowing of size-derived value"
+	b := int32(uint32(cap(xs))) // want "unchecked uint32 narrowing of size-derived value"
+	c := int32(t.NumRows())     // want "unchecked int32 narrowing of size-derived value"
+	d := int32(2*len(xs) + 1)   // want "unchecked int32 narrowing of size-derived value"
+	e := csr.MustInt32(len(xs)) // checked: the sanctioned helper
+	f := int32(t.width())       // not size-derived
+	g := int32(xs[0])           // not size-derived: element value, not a count
+	const fixed = 1 << 10
+	h := int32(fixed) // constant-folded, checked at compile time
+	// Narrowing a local that held a size is beyond the syntactic
+	// check's reach; the convention is to narrow at the len site, which
+	// the repo audit enforces.
+	wide := int64(len(xs))
+	i := int32(wide)
+	return []int32{a, b, c, d, e, f, g, h, i}
+}
+
+var _ = narrowings

@@ -1,0 +1,104 @@
+// Package snapshotphase is a fixture for the snapshotphase analyzer.
+package snapshotphase
+
+// peel is one shard's mutable state; the outbox fields are the only
+// state other shards may touch, and only in a drain phase.
+type peel struct {
+	deg []int32
+	//hyperplexvet:outbox
+	out [][]int32
+	//hyperplexvet:outbox
+	outE [][]int32
+}
+
+type engine struct {
+	peels []*peel
+}
+
+// sendDeltas is a well-formed owned phase: it writes only its own
+// peel, staging cross-shard hand-offs in its own outboxes.
+//
+//hyperplexvet:phase owned
+func (e *engine) sendDeltas(s, _ int) error {
+	p := e.peels[s]
+	for t := range p.out {
+		p.out[t] = append(p.out[t], int32(s))
+	}
+	return nil
+}
+
+// peek reaches into shard 0's live state from an owned phase.
+//
+//hyperplexvet:phase owned
+func (e *engine) peek(s, _ int) error {
+	p := e.peels[s]
+	p.deg[0] = e.peels[0].deg[0] // want "owned phase accesses another shard's peel"
+	return nil
+}
+
+// drainDeltas is a well-formed drain phase: it reads foreign outboxes,
+// applies them to its own state, and resets them to length zero.
+//
+//hyperplexvet:phase drain
+func (e *engine) drainDeltas(s, _ int) error {
+	p := e.peels[s]
+	for src := range e.peels {
+		buf := e.peels[src].out[s]
+		for _, v := range buf {
+			p.deg[v]++
+		}
+		e.peels[src].out[s] = buf[:0]
+	}
+	return nil
+}
+
+// drainAndSend stages new deltas while still draining: send and drain
+// must sit on opposite sides of a barrier.
+//
+//hyperplexvet:phase drain
+func (e *engine) drainAndSend(s, _ int) error { // want "drains foreign outboxes and appends to its own on one execution path"
+	p := e.peels[s]
+	for src := range e.peels {
+		for _, v := range e.peels[src].out[s] {
+			p.outE[v] = append(p.outE[v], v)
+		}
+	}
+	return nil
+}
+
+// badRead drains non-outbox state of another shard.
+//
+//hyperplexvet:phase drain
+func (e *engine) badRead(s, _ int) error {
+	n := 0
+	for src := range e.peels {
+		n += len(e.peels[src].deg) // want "reads another shard's non-outbox state"
+	}
+	if n < 0 {
+		return nil
+	}
+	return nil
+}
+
+// badWrite pushes into a foreign outbox instead of resetting it.
+//
+//hyperplexvet:phase drain
+func (e *engine) badWrite(s, _ int) error {
+	for src := range e.peels {
+		if src == s {
+			continue
+		}
+		e.peels[src].out[s] = append(e.peels[src].out[s], 1) // want "may only reset a foreign outbox to length zero"
+	}
+	return nil
+}
+
+// alias smuggles a whole foreign peel into a local, which would let
+// every later access bypass the phase discipline.
+//
+//hyperplexvet:phase drain
+func (e *engine) alias(s, _ int) error {
+	q := e.peels[(s+1)%len(e.peels)] // want "may only select outbox fields of another shard's peel"
+	_ = q
+	return nil
+}

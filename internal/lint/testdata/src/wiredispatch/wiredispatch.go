@@ -1,0 +1,140 @@
+// Package wiredispatch is a fixture for the wiredispatch analyzer.
+package wiredispatch
+
+import "errors"
+
+// Wire frame types of the fixture protocol.
+//
+//hyperplexvet:wiretypes
+const (
+	mPing byte = iota + 1
+	mPong
+	mData
+	mAck
+	mOrphan // want "has no dispatch site" "is never sent"
+	mTypeMax
+)
+
+// dec is the bounds-checked payload reader decoders must use.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) u8() byte {
+	if d.off >= len(d.b) {
+		d.err = errors.New("short payload")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) fin() error { return d.err }
+
+// writeFrame is the send root: every frame on the wire leaves through
+// it.
+//
+//hyperplexvet:wiresend
+func writeFrame(out *[]byte, typ byte, payload []byte) {
+	*out = append(*out, typ, byte(len(payload)))
+	*out = append(*out, payload...)
+}
+
+// send forwards its frame type to writeFrame; the frame-parameter
+// fixpoint marks its typ as a send position too.
+func send(out *[]byte, typ byte, payload []byte) {
+	writeFrame(out, typ, payload)
+}
+
+// expect is the receive root: passing a frame type as its first byte
+// parameter dispatches it.
+//
+//hyperplexvet:wirerecv
+func expect(want, got byte) error {
+	if got != want {
+		return errors.New("unexpected frame")
+	}
+	return nil
+}
+
+// handle dispatches one frame; the default clause is the contract for
+// unknown frames arriving from a newer or corrupt peer.
+func handle(typ byte, payload []byte) error {
+	switch typ {
+	case mPing:
+		return nil
+	case mPong:
+		return nil
+	case mData:
+		var m msgData
+		return m.decode(payload)
+	default:
+		return errors.New("unknown frame")
+	}
+}
+
+// handleLegacy treats unknown frames as impossible.
+func handleLegacy(typ byte) {
+	switch typ { // want "must have a default clause"
+	case mPing:
+	case mPong:
+	}
+}
+
+// hello exercises the send path of every live frame type, directly and
+// through the forwarding chain.
+func hello(out *[]byte) error {
+	send(out, mPing, nil)
+	send(out, mPong, nil)
+	writeFrame(out, mData, nil)
+	send(out, mAck, nil)
+	raw := byte(0)
+	return expect(mAck, raw)
+}
+
+// msgData's codecs are paired and its decoder reads through dec.
+type msgData struct {
+	a, b byte
+}
+
+func (m *msgData) encode(out *[]byte) {
+	*out = append(*out, m.a, m.b)
+}
+
+func (m *msgData) decode(payload []byte) error {
+	d := dec{b: payload}
+	m.a = d.u8()
+	m.b = d.u8()
+	return d.fin()
+}
+
+// msgRaw trusts the wire length instead of the dec reader.
+type msgRaw struct {
+	a byte
+}
+
+func (m *msgRaw) encode(out *[]byte) {
+	*out = append(*out, m.a)
+}
+
+func (m *msgRaw) decode(payload []byte) error { // want "must go through the bounds-checked dec reader"
+	m.a = payload[0]
+	return nil
+}
+
+// msgHalf can be written but never read back.
+type msgHalf struct{}
+
+func (m *msgHalf) encode(out *[]byte) { // want "has an encoder but no decoder"
+	_ = m
+	_ = out
+}
+
+var (
+	_ = handle
+	_ = handleLegacy
+	_ = hello
+)

@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WireDispatch enforces protocol exhaustiveness over the wire frame
+// types declared in a //hyperplexvet:wiretypes const block (names
+// ending in "Max" are sentinels and exempt).  Every frame type must be
+// dispatched somewhere — a switch case, an ==/!= comparison, or an
+// argument to a //hyperplexvet:wirerecv parameter — and sent somewhere
+// — an argument reaching a //hyperplexvet:wiresend parameter through
+// any chain of byte-parameter forwarding.  Every switch dispatching on
+// frame types must have a default clause (unknown frames are data, not
+// dead code).  Message types (named msg*) must carry encode and decode
+// in pairs, and every decoder must go through the allocation-capped
+// dec reader rather than trusting wire lengths.
+var WireDispatch = &Analyzer{
+	Name: "wiredispatch",
+	Doc:  "every wire frame type is sent, dispatched with a default case, and its message codecs are paired and capped",
+	Run:  runWireDispatch,
+}
+
+func runWireDispatch(pass *Pass) {
+	facts := pass.Facts()
+	if len(facts.WireConsts) == 0 {
+		return
+	}
+	wire := make(map[types.Object]bool, len(facts.WireConsts))
+	for _, c := range facts.WireConsts {
+		wire[c] = true
+	}
+
+	sendParams, recvParams := frameParams(pass, facts)
+
+	dispatched := make(map[types.Object]bool)
+	sent := make(map[types.Object]bool)
+	markConsts := func(e ast.Expr, into map[types.Object]bool) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Pkg.Info.Uses[id]; obj != nil && wire[obj] {
+					into[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				usesWire, hasDefault := false, false
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					if cc.List == nil {
+						hasDefault = true
+					}
+					for _, e := range cc.List {
+						if usesWireConst(pass, wire, e) {
+							usesWire = true
+						}
+						markConsts(e, dispatched)
+					}
+				}
+				if usesWire && !hasDefault {
+					pass.Reportf(n.Pos(), "switch dispatching on wire frame types must have a default clause for unknown frames")
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					markConsts(n.X, dispatched)
+					markConsts(n.Y, dispatched)
+				}
+			case *ast.CallExpr:
+				callee := calleeOf(pass.Pkg, n)
+				fd := facts.FuncDecls[callee]
+				if fd == nil {
+					return true
+				}
+				params := paramObjects(pass.Pkg, fd)
+				for i, arg := range n.Args {
+					if i >= len(params) {
+						break
+					}
+					if sendParams[params[i]] {
+						markConsts(arg, sent)
+					}
+					if recvParams[params[i]] {
+						markConsts(arg, dispatched)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, c := range facts.WireConsts {
+		if strings.HasSuffix(c.Name(), "Max") {
+			continue
+		}
+		if !dispatched[c] {
+			pass.Reportf(c.Pos(), "wire frame type %s has no dispatch site (no switch case, comparison or wirerecv argument consumes it)", c.Name())
+		}
+		if !sent[c] {
+			pass.Reportf(c.Pos(), "wire frame type %s is never sent (no call chain reaches a wiresend parameter)", c.Name())
+		}
+	}
+
+	checkCodecs(pass)
+}
+
+// usesWireConst reports whether e mentions a wire const (helper for
+// the switch scan, where markConsts may have already recorded it).
+func usesWireConst(pass *Pass, wire map[types.Object]bool, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Pkg.Info.Uses[id]; obj != nil && wire[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// frameParams computes the byte parameters that carry a frame type:
+// seeded by the first byte parameter of each wiresend/wirerecv-marked
+// function, then propagated through calls — a byte parameter passed
+// into a frame-param position is itself a frame param.
+func frameParams(pass *Pass, facts *PkgFacts) (send, recv map[types.Object]bool) {
+	send = make(map[types.Object]bool)
+	recv = make(map[types.Object]bool)
+	seed := func(marked map[types.Object]bool, into map[types.Object]bool) {
+		for obj := range marked {
+			fd := facts.FuncDecls[obj]
+			if fd == nil {
+				continue
+			}
+			for _, p := range paramObjects(pass.Pkg, fd) {
+				if isByte(p.Type()) {
+					into[p] = true
+					break
+				}
+			}
+		}
+	}
+	seed(facts.WireSend, send)
+	seed(facts.WireRecv, recv)
+
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fd := facts.FuncDecls[calleeOf(pass.Pkg, call)]
+				if fd == nil {
+					return true
+				}
+				params := paramObjects(pass.Pkg, fd)
+				for i, arg := range call.Args {
+					if i >= len(params) {
+						break
+					}
+					id, ok := ast.Unparen(arg).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.Pkg.Info.Uses[id]
+					if obj == nil || !isByte(obj.Type()) {
+						continue
+					}
+					if _, isVar := obj.(*types.Var); !isVar {
+						continue
+					}
+					if send[params[i]] && !send[obj] {
+						send[obj] = true
+						changed = true
+					}
+					if recv[params[i]] && !recv[obj] {
+						recv[obj] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return send, recv
+}
+
+// paramObjects flattens a function declaration's parameter objects in
+// declaration order.
+func paramObjects(pkg *Package, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func isByte(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// checkCodecs pairs encode/decode methods on msg* types and checks
+// decoder discipline: a decode must construct the package's dec reader
+// (bounds-checked, allocation-capped) or delegate to another decode.
+func checkCodecs(pass *Pass) {
+	type codec struct {
+		encode, decode *ast.FuncDecl
+	}
+	byType := make(map[string]*codec)
+	funcsOf(pass.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Recv == nil || len(fd.Recv.List) != 1 {
+			return
+		}
+		if fd.Name.Name != "encode" && fd.Name.Name != "decode" {
+			return
+		}
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		id, ok := t.(*ast.Ident)
+		if !ok || !strings.HasPrefix(id.Name, "msg") {
+			return
+		}
+		c := byType[id.Name]
+		if c == nil {
+			c = &codec{}
+			byType[id.Name] = c
+		}
+		if fd.Name.Name == "encode" {
+			c.encode = fd
+		} else {
+			c.decode = fd
+		}
+	})
+	for name, c := range byType {
+		switch {
+		case c.encode == nil:
+			pass.Reportf(c.decode.Pos(), "message type %s has a decoder but no encoder", name)
+		case c.decode == nil:
+			pass.Reportf(c.encode.Pos(), "message type %s has an encoder but no decoder", name)
+		default:
+			if !usesDecReader(pass, c.decode) {
+				pass.Reportf(c.decode.Pos(), "decoder for %s must go through the bounds-checked dec reader, not raw payload indexing", name)
+			}
+		}
+	}
+}
+
+// usesDecReader reports whether the decode body constructs a value of
+// the package's dec type or delegates to another decode method.
+func usesDecReader(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Body == nil {
+		return false
+	}
+	ok := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if tv, found := pass.Pkg.Info.Types[n]; found {
+				if named, isNamed := tv.Type.(*types.Named); isNamed && named.Obj().Name() == "dec" {
+					ok = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr); isSel && sel.Sel.Name == "decode" {
+				ok = true
+			}
+		}
+		return !ok
+	})
+	return ok
+}

@@ -90,9 +90,13 @@ func ReadCtx(ctx context.Context, r io.Reader) (*Matrix, error) {
 		return nil, fmt.Errorf("mmio: unsupported symmetry %q", sym)
 	}
 
-	// Skip comments, read the size line.
+	// Skip comments, read the size line.  Each header line is charged:
+	// the comment run before the size line is unbounded input.
 	var sizeLine string
 	for sc.Scan() {
+		if err := run.Tick(ctx, meter, 1); err != nil {
+			return nil, err
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
@@ -129,19 +133,24 @@ func ReadCtx(ctx context.Context, r io.Reader) (*Matrix, error) {
 		Val:     make([]float64, 0, prealloc),
 		Pattern: field == "pattern",
 	}
-	read := 0
+	read, scanned := 0, 0
 	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "%") {
-			continue
-		}
-		if read > 0 && read%readCheckEvery == 0 {
+		// The checkpoint is keyed on scanned lines, not parsed entries:
+		// a long run of blank or comment lines must not spin past the
+		// budget or a cancelled context unseen.
+		if scanned++; scanned%readCheckEvery == 0 {
 			if err := failpoint.Inject(fpReadEntry); err != nil {
 				return nil, err
 			}
 			if err := run.Tick(ctx, meter, readCheckEvery); err != nil {
 				return nil, err
 			}
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if read > 0 && read%readCheckEvery == 0 {
 			if err := meter.Alloc(readCheckEvery * entryBytes); err != nil {
 				return nil, err
 			}

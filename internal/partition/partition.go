@@ -151,7 +151,7 @@ func (p *Partition) Descs() []Desc {
 	out := make([]Desc, len(p.Shards))
 	for s := range p.Shards {
 		sh := &p.Shards[s]
-		out[s].Count = int32(len(sh.Vertices))
+		out[s].Count = csr.MustInt32(len(sh.Vertices))
 		if len(sh.Vertices) > 0 {
 			out[s].First = sh.Vertices[0]
 		}
@@ -267,6 +267,11 @@ func (p *Partition) assemble(ctx context.Context, meter *run.Meter) error {
 		frontierMark[v] = -1
 	}
 	for s := range p.Shards {
+		// Per-shard checkpoint: a shard with no cut edges would
+		// otherwise pass through the loop without one.
+		if err := run.Tick(ctx, meter, 1); err != nil {
+			return err
+		}
 		sh := &p.Shards[s]
 		for i, f := range sh.Cut {
 			if i%buildCheckEvery == 0 {

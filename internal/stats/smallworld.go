@@ -122,6 +122,7 @@ func smallWorldCtx(ctx context.Context, h *hypergraph.Hypergraph, workers int, s
 	var next atomic.Int64
 	var firstErr atomic.Pointer[error]
 	fail := func(err error) { firstErr.CompareAndSwap(nil, &err) }
+	//hyperplexvet:ignore budgettick bounded spawn loop: at most workers iterations of O(1) setup; each worker ticks per BFS source
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {

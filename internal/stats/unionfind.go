@@ -3,6 +3,7 @@ package stats
 import (
 	"sort"
 
+	"hyperplex/internal/csr"
 	"hyperplex/internal/hypergraph"
 )
 
@@ -63,7 +64,7 @@ func ComponentsUF(h *hypergraph.Hypergraph) (vComp, eComp []int32, comps []Compo
 		r := u.find(x)
 		id, ok := idOf[r]
 		if !ok {
-			id = int32(len(idOf))
+			id = csr.MustInt32(len(idOf))
 			idOf[r] = id
 		}
 		return id
