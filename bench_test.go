@@ -7,6 +7,7 @@ package hyperplex_test
 
 import (
 	"io"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"hyperplex/internal/bio"
 	"hyperplex/internal/core"
 	"hyperplex/internal/cover"
+	"hyperplex/internal/csr"
 	"hyperplex/internal/dataset"
 	"hyperplex/internal/gen"
 	"hyperplex/internal/graph"
@@ -21,6 +23,7 @@ import (
 	"hyperplex/internal/mmio"
 	"hyperplex/internal/pajek"
 	"hyperplex/internal/stats"
+	"hyperplex/internal/store"
 	"hyperplex/internal/xrand"
 )
 
@@ -273,6 +276,45 @@ func BenchmarkCSRDecompose(b *testing.B) {
 			b.Fatal("degenerate decomposition")
 		}
 	}
+}
+
+// BenchmarkStoreDecompose measures the flat-array decomposition kernel
+// over the memory-mapped store backend against the same kernel over
+// in-RAM CSR arrays, on the shared banded instance (BENCH_PR10.json
+// records the trajectory).  The mmap sub-benchmark pays the page-cache
+// walk on first touch; steady-state iterations measure the residency
+// cost of running the peel over file-backed arrays.
+func BenchmarkStoreDecompose(b *testing.B) {
+	h := bandedBench(b)
+	b.Run("inram", func(b *testing.B) {
+		c := csr.FromH(h)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if d := csr.Decompose(c); d.MaxK == 0 {
+				b.Fatal("degenerate decomposition")
+			}
+		}
+	})
+	b.Run("mmap", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "banded.store")
+		if err := store.WriteH(path, h); err != nil {
+			b.Fatal(err)
+		}
+		st, err := store.Open(path, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		c := st.CSR()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if d := csr.Decompose(c); d.MaxK == 0 {
+				b.Fatal("degenerate decomposition")
+			}
+		}
+	})
 }
 
 // BenchmarkShardedDecompose measures the sharded decomposition engine

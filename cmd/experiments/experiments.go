@@ -18,6 +18,7 @@ import (
 	"hyperplex/internal/graph"
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/stats"
+	"hyperplex/internal/store"
 	"hyperplex/internal/xrand"
 )
 
@@ -28,6 +29,32 @@ import (
 // sequential map-based peeler (all produce the same cores; the golden
 // test pins that on the paper numbers).
 func maxCoreVia(h *hypergraph.Hypergraph, o options) (*core.Result, error) {
+	if o.store != "" {
+		tmp, err := os.CreateTemp(o.store, "experiment-*.store")
+		if err != nil {
+			return nil, err
+		}
+		path := tmp.Name()
+		tmp.Close()
+		defer os.Remove(path)
+		if err := store.WriteH(path, h); err != nil {
+			return nil, err
+		}
+		st, err := store.Open(path, store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		mapped, err := st.H()
+		if err != nil {
+			return nil, err
+		}
+		// Recurse once with the store-backed hypergraph; the peel below
+		// then reads the mapped arrays.
+		h = mapped
+		o.store = ""
+		return maxCoreVia(h, o)
+	}
 	var d *core.Decomposition
 	switch {
 	case o.dist > 0:

@@ -29,6 +29,7 @@ func main() {
 	shards := flag.Int("shards", 0, "compute maximum cores with the sharded engine on this many shards (0 = sequential peeler)")
 	distW := flag.Int("dist", 0, "compute maximum cores on a fault-tolerant distributed pool of this many workers (0 = in-process)")
 	csr := flag.Bool("csr", true, "compute maximum cores with the flat-array CSR kernel (-csr=false keeps the map-based peeler)")
+	storeDir := flag.String("store", "", "round every maximum-core input through a memory-mapped store file in this directory (out-of-core mode)")
 	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this duration (0 = no limit)")
 	flag.Parse()
 	ctx, cancel := cli.WithTimeout(context.Background(), *timeout)
@@ -45,7 +46,7 @@ func main() {
 		}
 	}
 
-	opts := options{short: *short, outDir: *outDir, trials: *trials, shards: *shards, csr: *csr, dist: *distW}
+	opts := options{short: *short, outDir: *outDir, trials: *trials, shards: *shards, csr: *csr, dist: *distW, store: *storeDir}
 	if *short && *trials > 20 {
 		opts.trials = 20
 	}
@@ -96,6 +97,11 @@ type options struct {
 	// (local fallback enabled, so a pool collapse degrades rather
 	// than fails).
 	dist int
+	// store, when non-empty, names a directory: every maximum-core
+	// input is first written to a store file there and re-read through
+	// the memory-mapped backend, so the peel runs over the on-disk
+	// arrays (out-of-core mode).  The cores are identical either way.
+	store string
 }
 
 type experiment struct {

@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	hgconvert -from text|json|mtx -to text|json|mtx|pajek [-o FILE] [input]
+//	hgconvert -from text|json|mtx|store -to text|json|mtx|pajek|store [-o FILE] [input]
 //
 // Matrix Market input treats columns as hyperedges over row vertices;
 // Matrix Market output writes the pattern matrix of the incidence
-// relation.  Pajek is write-only (the bipartite drawing B(H)).
+// relation.  Pajek is write-only (the bipartite drawing B(H)).  The
+// binary store format needs a real file on both sides: -from store
+// requires an input path (not stdin), -to store requires -o.  A
+// file-backed text/.mtx input converting to a store streams through
+// store.BuildFile in two passes, so the hypergraph never has to fit
+// in RAM.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/mmio"
 	"hyperplex/internal/pajek"
+	"hyperplex/internal/store"
 )
 
 func main() {
@@ -36,8 +42,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 	defer cli.RecoverPanic(&err)
 	fs := flag.NewFlagSet("hgconvert", flag.ContinueOnError)
 	fs.SetOutput(stdout)
-	from := fs.String("from", "text", "input format: text | json | mtx")
-	to := fs.String("to", "text", "output format: text | json | mtx | pajek")
+	from := fs.String("from", "text", "input format: text | json | mtx | store")
+	to := fs.String("to", "text", "output format: text | json | mtx | pajek | store")
 	out := fs.String("o", "", "output file (default stdout)")
 	timeout := fs.Duration("timeout", 0, "abort if the conversion exceeds this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
@@ -46,8 +52,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 	ctx, cancel := cli.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	// A file-backed text/.mtx source converting to a store never has to
+	// exist in RAM: the streaming builder makes two passes over the
+	// input file directly.  Stdin (not re-openable) and the other input
+	// formats fall through to the in-RAM read + write below.
+	if *to == "store" && fs.Arg(0) != "" && (*from == "text" || *from == "mtx") {
+		if *out == "" {
+			return fmt.Errorf("-to store needs -o FILE (the store is written with fsync-and-rename, not streamed)")
+		}
+		if err := store.BuildFileCtx(ctx, *out, store.FileSource(*from, fs.Arg(0))); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "hgconvert: %s → store: streamed %s in two passes\n", *from, fs.Arg(0))
+		return nil
+	}
+
 	var r io.Reader = stdin
-	if fs.Arg(0) != "" {
+	if fs.Arg(0) != "" && *from != "store" {
 		f, err := os.Open(fs.Arg(0))
 		if err != nil {
 			return err
@@ -60,6 +81,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 	switch *from {
 	case "text":
 		h, err = hypergraph.ReadTextCtx(ctx, r)
+	case "store":
+		if fs.Arg(0) == "" {
+			return fmt.Errorf("-from store needs an input file path (the store is memory-mapped, not streamed)")
+		}
+		var st *store.File
+		st, h, err = cli.OpenStoreCtx(ctx, fs.Arg(0))
+		if err == nil {
+			// The hypergraph aliases the store's mapped arrays; keep
+			// the backend open until the conversion is written out.
+			defer st.Close()
+		}
 	case "json":
 		var data []byte
 		data, err = io.ReadAll(r)
@@ -77,6 +109,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 	}
 	if err != nil {
 		return err
+	}
+
+	if *to == "store" {
+		if *out == "" {
+			return fmt.Errorf("-to store needs -o FILE (the store is written with fsync-and-rename, not streamed)")
+		}
+		if err := store.WriteHCtx(ctx, *out, h); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "hgconvert: %s → store: |V|=%d |F|=%d |E|=%d\n",
+			*from, h.NumVertices(), h.NumEdges(), h.NumPins())
+		return nil
 	}
 
 	var w io.Writer = stdout

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -62,5 +64,64 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"missing.txt"}, strings.NewReader(""), &out, &errOut); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestRunStoreRoundTrip converts text → store → text through real
+// files and expects the text to survive unchanged.
+func TestRunStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "g.store")
+	var devnull, errOut bytes.Buffer
+	if err := run([]string{"-to", "store", "-o", storePath}, strings.NewReader(sample), &devnull, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var back bytes.Buffer
+	if err := run([]string{"-from", "store", "-to", "text", storePath}, nil, &back, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(back.String(), "c1: a b") || !strings.Contains(back.String(), "c2: b c") {
+		t.Errorf("store round trip lost structure:\n%s", back.String())
+	}
+}
+
+// TestRunStoreStreamedBuild pins that a file-backed text input with
+// -to store takes the two-pass streaming builder instead of the
+// in-RAM read, and that the resulting store is equivalent to the one
+// the in-RAM path writes.
+func TestRunStoreStreamedBuild(t *testing.T) {
+	dir := t.TempDir()
+	textPath := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(textPath, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	storePath := filepath.Join(dir, "g.store")
+	var devnull, errOut bytes.Buffer
+	if err := run([]string{"-to", "store", "-o", storePath, textPath}, nil, &devnull, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "streamed") {
+		t.Errorf("file-backed text → store did not take the streaming builder: %q", errOut.String())
+	}
+	var back bytes.Buffer
+	if err := run([]string{"-from", "store", "-to", "text", storePath}, nil, &back, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(back.String(), "c1: a b") || !strings.Contains(back.String(), "c2: b c") {
+		t.Errorf("streamed store lost structure:\n%s", back.String())
+	}
+	// Missing -o is rejected on the streaming path too.
+	if err := run([]string{"-to", "store", textPath}, nil, &devnull, &errOut); err == nil {
+		t.Error("-to store without -o accepted on the streaming path")
+	}
+}
+
+func TestRunStoreNeedsRealFiles(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-to", "store"}, strings.NewReader(sample), &out, &errOut); err == nil {
+		t.Error("-to store without -o accepted")
+	}
+	if err := run([]string{"-from", "store"}, strings.NewReader(sample), &out, &errOut); err == nil {
+		t.Error("-from store on stdin accepted")
 	}
 }

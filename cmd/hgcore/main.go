@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	hgcore [-k N | -max | -decompose] [-l N] [-mtx] [-csr] [-parallel N] [-shards N] [-dist N [-hgshardd PATH] [-local-fallback]] [-pajek PREFIX] [file]
+//	hgcore [-k N | -max | -decompose] [-l N] [-mtx | -store FILE] [-csr] [-parallel N] [-shards N] [-dist N [-hgshardd PATH] [-local-fallback]] [-pajek PREFIX] [file]
 //
 // With -k it prints the members of the k-core (or the (k, l)-core with
 // -l); with -max (default) the maximum core; with -decompose the
@@ -43,6 +43,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	max := fs.Bool("max", false, "compute the maximum core (default when -k and -decompose are absent)")
 	decompose := fs.Bool("decompose", false, "print the coreness of every vertex")
 	mtx := fs.Bool("mtx", false, "input is a Matrix Market file")
+	storePath := fs.String("store", "", "read the hypergraph from this binary store file (memory-mapped; overrides [file] and -mtx)")
 	parallel := fs.Int("parallel", 0, "use the parallel algorithm with this many workers (0 = sequential)")
 	shards := fs.Int("shards", 0, "use the sharded decomposition engine with this many shards (0 = sequential)")
 	csr := fs.Bool("csr", true, "route -max and -decompose through the flat-array CSR kernel (-csr=false keeps the map-based peeler)")
@@ -58,9 +59,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	ctx, cancel := cli.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	h, err := cli.ReadHypergraphCtx(ctx, *mtx, fs.Arg(0), stdin)
-	if err != nil {
-		return err
+	var h *hypergraph.Hypergraph
+	if *storePath != "" {
+		st, sh, err := cli.OpenStoreCtx(ctx, *storePath)
+		if err != nil {
+			return err
+		}
+		// The hypergraph aliases the store's mapped arrays; keep the
+		// backend open for the whole run.
+		defer st.Close()
+		h = sh
+	} else {
+		h, err = cli.ReadHypergraphCtx(ctx, *mtx, fs.Arg(0), stdin)
+		if err != nil {
+			return err
+		}
 	}
 
 	// decomposeVia routes through the distributed runtime when -dist is

@@ -6,6 +6,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hyperplex/internal/dataset"
+	"hyperplex/internal/hypergraph"
+	"hyperplex/internal/store"
 )
 
 // planted has a 3-core {a,b,c,d} plus pendants.
@@ -158,5 +162,60 @@ func TestRunDistMatchesSequential(t *testing.T) {
 		if seq.String() != dist.String() {
 			t.Errorf("%v: sequential %q vs dist %q", mode, seq.String(), dist.String())
 		}
+	}
+}
+
+// TestRunStoreMatchesText pins the -store route byte for byte against
+// the text route, member listings included, on the calibrated Cellzome
+// instance — the ISSUE's out-of-core smoke: text → store file →
+// memory-mapped decomposition must be indistinguishable from the
+// all-in-RAM run.
+func TestRunStoreMatchesText(t *testing.T) {
+	dir := t.TempDir()
+	h := dataset.Cellzome().H
+	textPath := filepath.Join(dir, "cellzome.txt")
+	tf, err := os.Create(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hypergraph.WriteText(tf, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Build the store from the text file with the streaming builder, so
+	// both routes see the same first-encounter vertex numbering (the
+	// original instance's insertion order is not recoverable from text).
+	storePath := filepath.Join(dir, "cellzome.store")
+	if err := store.BuildFile(storePath, store.FileSource("text", textPath)); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range [][]string{
+		{"-max"},
+		{"-decompose"},
+		{"-k", "4"},
+	} {
+		var text, mapped bytes.Buffer
+		if err := run(append(append([]string{}, mode...), textPath), nil, &text); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(append(append([]string{}, mode...), "-store", storePath), nil, &mapped); err != nil {
+			t.Fatal(err)
+		}
+		if text.String() != mapped.String() {
+			t.Errorf("%v: text and -store outputs differ", mode)
+		}
+	}
+}
+
+func TestRunStoreBadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.store")
+	if err := os.WriteFile(path, []byte("not a store"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-store", path}, nil, &out); err == nil {
+		t.Error("junk store file accepted")
 	}
 }

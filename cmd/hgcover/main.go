@@ -4,7 +4,7 @@
 // Usage:
 //
 //	hgcover [-weights unit|degree2] [-r N | -reliability P,TARGET] [-skip-singletons]
-//	        [-primal-dual | -exact] [-mtx] [file]
+//	        [-primal-dual | -exact] [-mtx | -store FILE] [file]
 //
 // -weights degree2 weights each vertex by the square of its degree,
 // biasing the cover toward low-degree baits (§4.2).  -r 2 computes a
@@ -51,6 +51,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	exact := fs.Bool("exact", false, "use exact branch-and-bound (small instances, r must be 1)")
 	useCSR := fs.Bool("csr", true, "run the greedy cover on the flat-array CSR kernel (false = map-based reference kernel; both produce identical covers)")
 	mtx := fs.Bool("mtx", false, "input is a Matrix Market file")
+	storePath := fs.String("store", "", "read the hypergraph from this binary store file (memory-mapped; overrides [file] and -mtx)")
 	quiet := fs.Bool("quiet", false, "suppress the member listing")
 	timeout := fs.Duration("timeout", 0, "abort if reading plus covering exceed this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
@@ -59,9 +60,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	ctx, cancel := cli.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	h, err := cli.ReadHypergraphCtx(ctx, *mtx, fs.Arg(0), stdin)
-	if err != nil {
-		return err
+	var h *hypergraph.Hypergraph
+	if *storePath != "" {
+		st, sh, err := cli.OpenStoreCtx(ctx, *storePath)
+		if err != nil {
+			return err
+		}
+		// The hypergraph aliases the store's mapped arrays; keep the
+		// backend open for the whole run.
+		defer st.Close()
+		h = sh
+	} else {
+		h, err = cli.ReadHypergraphCtx(ctx, *mtx, fs.Arg(0), stdin)
+		if err != nil {
+			return err
+		}
 	}
 
 	var weights []float64

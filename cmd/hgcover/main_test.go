@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hyperplex/internal/store"
 )
 
 const sample = "c1: hub a\nc2: hub b\nc3: hub c\n"
@@ -152,5 +154,35 @@ func TestRunWeightFile(t *testing.T) {
 	}
 	if err := run([]string{"-weights", "file:/does/not/exist"}, strings.NewReader(sample), &out); err == nil {
 		t.Error("missing weight file accepted")
+	}
+}
+
+// TestRunStoreMatchesText pins the -store route byte for byte against
+// the text route, including a 2-multicover.
+func TestRunStoreMatchesText(t *testing.T) {
+	dir := t.TempDir()
+	textPath := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(textPath, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	storePath := filepath.Join(dir, "g.store")
+	if err := store.BuildFile(storePath, store.FileSource("text", textPath)); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range [][]string{
+		nil,
+		{"-r", "2"},
+		{"-weights", "degree2"},
+	} {
+		var text, mapped bytes.Buffer
+		if err := run(append(append([]string{}, mode...), textPath), nil, &text); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(append(append([]string{}, mode...), "-store", storePath), nil, &mapped); err != nil {
+			t.Fatal(err)
+		}
+		if text.String() != mapped.String() {
+			t.Errorf("%v: text %q vs store %q", mode, text.String(), mapped.String())
+		}
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hgstats [-mtx] [-smallworld] [-core] [file]
+//	hgstats [-mtx | -store FILE] [-smallworld] [-core] [file]
 //
 // The input is the native text format ("name: members..."), or a
 // Matrix Market file with -mtx (columns become hyperedges).  With no
@@ -23,6 +23,7 @@ import (
 
 	"hyperplex/internal/cli"
 	"hyperplex/internal/core"
+	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/stats"
 )
 
@@ -39,6 +40,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("hgstats", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	mtx := fs.Bool("mtx", false, "input is a Matrix Market file")
+	storePath := fs.String("store", "", "read the hypergraph from this binary store file (memory-mapped; overrides [file] and -mtx)")
 	smallworld := fs.Bool("smallworld", false, "compute exact diameter and average path length (all-pairs BFS)")
 	withCore := fs.Bool("core", false, "compute the maximum core")
 	judge := fs.Bool("judge", false, "judge both degree distributions against power-law and exponential fits")
@@ -49,9 +51,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	ctx, cancel := cli.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	h, err := cli.ReadHypergraphCtx(ctx, *mtx, fs.Arg(0), stdin)
-	if err != nil {
-		return err
+	var h *hypergraph.Hypergraph
+	if *storePath != "" {
+		st, sh, err := cli.OpenStoreCtx(ctx, *storePath)
+		if err != nil {
+			return err
+		}
+		// The hypergraph aliases the store's mapped arrays; keep the
+		// backend open for the whole run.
+		defer st.Close()
+		h = sh
+	} else {
+		h, err = cli.ReadHypergraphCtx(ctx, *mtx, fs.Arg(0), stdin)
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(stdout, "|V| = %d   |F| = %d   |E| = %d\n", h.NumVertices(), h.NumEdges(), h.NumPins())

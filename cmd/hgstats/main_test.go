@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"hyperplex/internal/store"
 )
 
 const sampleText = "c1: a b c\nc2: b c d\nc3: e\n"
@@ -67,5 +71,29 @@ func TestRunJudge(t *testing.T) {
 	got := out.String()
 	if !strings.Contains(got, "vertex degrees:") || !strings.Contains(got, "hyperedge degrees:") {
 		t.Errorf("judge lines missing:\n%s", got)
+	}
+}
+
+// TestRunStoreMatchesText pins the -store route byte for byte against
+// the text route.
+func TestRunStoreMatchesText(t *testing.T) {
+	dir := t.TempDir()
+	textPath := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(textPath, []byte(sampleText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	storePath := filepath.Join(dir, "g.store")
+	if err := store.BuildFile(storePath, store.FileSource("text", textPath)); err != nil {
+		t.Fatal(err)
+	}
+	var text, mapped bytes.Buffer
+	if err := run([]string{"-core", textPath}, nil, &text); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-core", "-store", storePath}, nil, &mapped); err != nil {
+		t.Fatal(err)
+	}
+	if text.String() != mapped.String() {
+		t.Errorf("text %q vs store %q", text.String(), mapped.String())
 	}
 }

@@ -111,6 +111,7 @@ func TestCommittedBaselineCoversGuards(t *testing.T) {
 		"BenchmarkGuardKCore",
 		"BenchmarkGuardGreedyMulticover",
 		"BenchmarkGuardShortestPath",
+		"BenchmarkGuardStoreDecompose",
 	} {
 		if _, ok := b.NsPerOp[name]; !ok {
 			t.Errorf("committed baseline is missing %s — re-record with cmd/benchguard -update", name)

@@ -9,14 +9,17 @@
 package benchguard_test
 
 import (
+	"path/filepath"
 	"sync"
 	"testing"
 
 	"hyperplex/internal/core"
 	"hyperplex/internal/cover"
+	"hyperplex/internal/csr"
 	"hyperplex/internal/gen"
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/stats"
+	"hyperplex/internal/store"
 	"hyperplex/internal/xrand"
 )
 
@@ -121,6 +124,34 @@ func BenchmarkGuardCSRGreedyMulticover(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := cover.CSRGreedyMulticover(h, nil, nil); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGuardStoreDecompose pins the flat-array decomposition
+// kernel running over the memory-mapped store backend, so the storage
+// seam cannot silently add per-access cost to the peel hot path.  The
+// store file is written and mapped outside the timed region; the
+// baseline is directly comparable to BenchmarkGuardCSRDecompose (the
+// same kernel over in-RAM arrays).
+func BenchmarkGuardStoreDecompose(b *testing.B) {
+	h := guardInstance(b)
+	path := filepath.Join(b.TempDir(), "guard.store")
+	if err := store.WriteH(path, h); err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	c := st.CSR()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := csr.Decompose(c)
+		if d == nil || d.MaxK == 0 {
+			b.Fatal("degenerate decomposition")
 		}
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -22,6 +24,7 @@ import (
 	"hyperplex/internal/partition"
 	"hyperplex/internal/run"
 	"hyperplex/internal/stats"
+	"hyperplex/internal/store"
 	"hyperplex/internal/xrand"
 )
 
@@ -29,11 +32,12 @@ import (
 // checkpoint is reached, its serialized forms for the reader sites,
 // and a saved dataset instance for dataset.load.
 var (
-	bigH     *hypergraph.Hypergraph
-	textData []byte
-	mtxData  []byte
-	netData  []byte
-	instDir  string
+	bigH      *hypergraph.Hypergraph
+	textData  []byte
+	mtxData   []byte
+	netData   []byte
+	instDir   string
+	storePath string
 )
 
 func TestMain(m *testing.M) {
@@ -62,6 +66,10 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	instDir = dir
+	storePath = filepath.Join(dir, "big.store")
+	if err := store.WriteH(storePath, bigH); err != nil {
+		panic(err)
+	}
 	code := m.Run()
 	os.RemoveAll(dir)
 	os.Exit(code)
@@ -190,6 +198,44 @@ func drivers() map[string]func(t *testing.T, ctx context.Context) error {
 			inst, err := dataset.LoadInstanceCtx(ctx, instDir)
 			if err == nil && inst.H.NumVertices() == 0 {
 				t.Error("successful LoadInstanceCtx returned an empty instance")
+			}
+			return err
+		},
+		"store.open": func(t *testing.T, ctx context.Context) error {
+			st, err := store.OpenCtx(ctx, storePath, store.Options{})
+			if err == nil {
+				defer st.Close()
+				c := st.CSR()
+				if c.NumVertices() != bigH.NumVertices() || c.NumEdges() != bigH.NumEdges() || c.NumPins() != bigH.NumPins() {
+					t.Errorf("successful OpenCtx decoded %d/%d/%d, want %d/%d/%d",
+						c.NumVertices(), c.NumEdges(), c.NumPins(),
+						bigH.NumVertices(), bigH.NumEdges(), bigH.NumPins())
+				}
+			} else if st != nil {
+				t.Errorf("OpenCtx returned a store alongside error %v", err)
+			}
+			return err
+		},
+		"store.build": func(t *testing.T, ctx context.Context) error {
+			dst := filepath.Join(t.TempDir(), "built.store")
+			err := store.BuildFileCtx(ctx, dst, store.Source{
+				Format: "text",
+				Open: func() (io.ReadCloser, error) {
+					return io.NopCloser(bytes.NewReader(textData)), nil
+				},
+			})
+			if err == nil {
+				st, oerr := store.Open(dst, store.Options{NoMmap: true})
+				if oerr != nil {
+					t.Errorf("successful BuildFileCtx left an unopenable store: %v", oerr)
+					return nil
+				}
+				defer st.Close()
+				if st.CSR().NumEdges() != bigH.NumEdges() {
+					t.Errorf("successful BuildFileCtx built %d edges, want %d", st.CSR().NumEdges(), bigH.NumEdges())
+				}
+			} else if _, serr := os.Stat(dst); serr == nil {
+				t.Errorf("failed BuildFileCtx left %s behind", dst)
 			}
 			return err
 		},

@@ -14,6 +14,7 @@ import (
 
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/mmio"
+	"hyperplex/internal/store"
 )
 
 // ReadHypergraph loads a hypergraph from path (or stdin when path is
@@ -44,6 +45,29 @@ func ReadHypergraphCtx(ctx context.Context, mtx bool, path string, stdin io.Read
 		return mmio.ToHypergraph(m)
 	}
 	return hypergraph.ReadTextCtx(ctx, r)
+}
+
+// OpenStore opens a binary store file and returns both the backend and
+// its hypergraph view.  The view aliases the store's (possibly memory-
+// mapped) arrays: the caller must keep the backend open while the
+// hypergraph is in use and Close it afterwards.
+func OpenStore(path string) (*store.File, *hypergraph.Hypergraph, error) {
+	return OpenStoreCtx(context.Background(), path)
+}
+
+// OpenStoreCtx is OpenStore honoring cancellation, deadline and any
+// run.Budget attached to ctx.
+func OpenStoreCtx(ctx context.Context, path string) (*store.File, *hypergraph.Hypergraph, error) {
+	st, err := store.OpenCtx(ctx, path, store.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := st.H()
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return st, h, nil
 }
 
 // WithTimeout returns ctx bounded by the -timeout flag value: a zero

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"hyperplex/internal/failpoint"
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/run"
+	"hyperplex/internal/store"
 )
 
 // fpLoad fires once per file opened by LoadInstanceCtx, so chaos tests
@@ -21,13 +23,15 @@ var fpLoad = failpoint.Register("dataset.load")
 
 // The on-disk layout of a saved instance:
 //
-//	DIR/hypergraph.txt    native text format
+//	DIR/hypergraph.txt    native text format (Save), or
+//	DIR/hypergraph.store  binary store file (SaveStore)
 //	DIR/baits.txt         one protein name per line; reported baits
 //	                      marked with a trailing " *"
 //	DIR/annotations.json  per-protein annotation records
 //	DIR/meta.json         core membership and singleton complexes
 //
 // Everything is name-keyed so the files survive vertex renumbering.
+// LoadInstance prefers hypergraph.store when both are present.
 
 type annotationRecord struct {
 	Known     bool `json:"known"`
@@ -41,46 +45,105 @@ type metaRecord struct {
 	Singletons    []string `json:"singletonComplexes"`
 }
 
-// Save writes the instance to dir (created if needed).
-func (inst *Instance) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	h := inst.H
-	// Hypergraph.
-	hf, err := os.Create(filepath.Join(dir, "hypergraph.txt"))
+// atomicWrite streams the output of write into path via a same-
+// directory temp file that is fsynced and renamed into place, so a
+// crash mid-write leaves either the old file or the complete new one —
+// never a torn file under the final name.  On any error the temp file
+// is removed and path is untouched.
+func atomicWrite(path string, write func(w io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return err
+		return fmt.Errorf("dataset: create temp for %s: %w", path, err)
 	}
-	if err := hypergraph.WriteText(hf, h); err != nil {
-		hf.Close()
-		return err
-	}
-	if err := hf.Close(); err != nil {
-		return err
-	}
-	// Baits.
-	bf, err := os.Create(filepath.Join(dir, "baits.txt"))
-	if err != nil {
-		return err
-	}
-	bw := bufio.NewWriter(bf)
-	reported := make(map[int]bool, len(inst.BaitsReported))
-	for _, v := range inst.BaitsReported {
-		reported[v] = true
-	}
-	for _, v := range inst.BaitsUsed {
-		mark := ""
-		if reported[v] {
-			mark = " *"
+	finalized := false
+	defer func() {
+		if !finalized {
+			tmp.Close()
+			os.Remove(tmp.Name())
 		}
-		fmt.Fprintf(bw, "%s%s\n", h.VertexName(v), mark)
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err := write(bw); err != nil {
+		return fmt.Errorf("dataset: write %s: %w", path, err)
 	}
 	if err := bw.Flush(); err != nil {
-		bf.Close()
+		return fmt.Errorf("dataset: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("dataset: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("dataset: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("dataset: rename into %s: %w", path, err)
+	}
+	finalized = true
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("dataset: sync dir of %s: %w", path, err)
+	}
+	serr := dir.Sync()
+	if cerr := dir.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return fmt.Errorf("dataset: sync dir of %s: %w", path, serr)
+	}
+	return nil
+}
+
+// Save writes the instance to dir (created if needed), with the
+// hypergraph in the native text format.  Every file is written
+// atomically (fsync-and-rename), so an interrupted Save never leaves a
+// torn file behind.
+func (inst *Instance) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: create %s: %w", dir, err)
+	}
+	if err := atomicWrite(filepath.Join(dir, "hypergraph.txt"), func(w io.Writer) error {
+		return hypergraph.WriteText(w, inst.H)
+	}); err != nil {
 		return err
 	}
-	if err := bf.Close(); err != nil {
+	return inst.saveAux(dir)
+}
+
+// SaveStore is Save with the hypergraph written as a binary store file
+// (DIR/hypergraph.store) instead of text, so LoadInstance can map it
+// back without rebuilding the adjacency in RAM.  The auxiliary files
+// are identical to Save's.
+func (inst *Instance) SaveStore(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: create %s: %w", dir, err)
+	}
+	if err := store.WriteH(filepath.Join(dir, "hypergraph.store"), inst.H); err != nil {
+		return err
+	}
+	return inst.saveAux(dir)
+}
+
+// saveAux writes the three name-keyed sidecar files shared by Save and
+// SaveStore.
+func (inst *Instance) saveAux(dir string) error {
+	h := inst.H
+	// Baits.
+	if err := atomicWrite(filepath.Join(dir, "baits.txt"), func(w io.Writer) error {
+		reported := make(map[int]bool, len(inst.BaitsReported))
+		for _, v := range inst.BaitsReported {
+			reported[v] = true
+		}
+		for _, v := range inst.BaitsUsed {
+			mark := ""
+			if reported[v] {
+				mark = " *"
+			}
+			if _, err := fmt.Fprintf(w, "%s%s\n", h.VertexName(v), mark); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
 		return err
 	}
 	// Annotations.
@@ -116,21 +179,55 @@ func (inst *Instance) Save(dir string) error {
 func writeJSON(path string, v interface{}) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		return err
+		return fmt.Errorf("dataset: encode %s: %w", path, err)
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return atomicWrite(path, func(w io.Writer) error {
+		_, err := w.Write(append(data, '\n'))
+		return err
+	})
 }
 
-// LoadInstance reads an instance saved by Save.  The Published targets
-// are re-attached (they are constants of the paper, not data).
+// LoadInstance reads an instance saved by Save or SaveStore.  The
+// Published targets are re-attached (they are constants of the paper,
+// not data).
 func LoadInstance(dir string) (*Instance, error) {
 	return LoadInstanceCtx(context.Background(), dir)
+}
+
+// loadHypergraph reads DIR/hypergraph.store when present (decoded
+// without mmap so the arrays outlive the handle), falling back to the
+// text format otherwise.
+func loadHypergraph(ctx context.Context, dir string) (*hypergraph.Hypergraph, error) {
+	storePath := filepath.Join(dir, "hypergraph.store")
+	if _, err := os.Stat(storePath); err == nil {
+		st, err := store.OpenCtx(ctx, storePath, store.Options{NoMmap: true})
+		if err != nil {
+			return nil, err
+		}
+		h, err := st.H()
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: load %s: %w", storePath, err)
+		}
+		return h, nil
+	}
+	hf, err := os.Open(filepath.Join(dir, "hypergraph.txt"))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load hypergraph: %w", err)
+	}
+	h, err := hypergraph.ReadTextCtx(ctx, hf)
+	if cerr := hf.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("dataset: load hypergraph: %w", cerr)
+	}
+	return h, err
 }
 
 // LoadInstanceCtx is LoadInstance honoring cancellation, deadline and
 // any run.Budget attached to ctx: the checkpoint runs before each of
 // the four files is opened, and the hypergraph itself is read with
-// ReadTextCtx.  On any error it returns (nil, err).
+// ReadTextCtx or the store loader.  On any error it returns (nil, err).
 func LoadInstanceCtx(ctx context.Context, dir string) (*Instance, error) {
 	meter := run.MeterFrom(ctx)
 	checkpoint := func() error {
@@ -142,12 +239,7 @@ func LoadInstanceCtx(ctx context.Context, dir string) (*Instance, error) {
 	if err := checkpoint(); err != nil {
 		return nil, err
 	}
-	hf, err := os.Open(filepath.Join(dir, "hypergraph.txt"))
-	if err != nil {
-		return nil, err
-	}
-	h, err := hypergraph.ReadTextCtx(ctx, hf)
-	hf.Close()
+	h, err := loadHypergraph(ctx, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +251,7 @@ func LoadInstanceCtx(ctx context.Context, dir string) (*Instance, error) {
 	}
 	bf, err := os.Open(filepath.Join(dir, "baits.txt"))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("dataset: load baits: %w", err)
 	}
 	sc := bufio.NewScanner(bf)
 	for sc.Scan() {
@@ -185,7 +277,7 @@ func LoadInstanceCtx(ctx context.Context, dir string) (*Instance, error) {
 	}
 	if err := sc.Err(); err != nil {
 		bf.Close()
-		return nil, err
+		return nil, fmt.Errorf("dataset: load baits: %w", err)
 	}
 	bf.Close()
 
@@ -249,7 +341,10 @@ func LoadInstanceCtx(ctx context.Context, dir string) (*Instance, error) {
 func readJSON(path string, v interface{}) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("dataset: load %s: %w", path, err)
 	}
-	return json.Unmarshal(data, v)
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("dataset: decode %s: %w", path, err)
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package dataset
 
 import (
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -52,6 +54,77 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if len(got.Singletons) != len(inst.Singletons) {
 		t.Errorf("singletons: %d vs %d", len(got.Singletons), len(inst.Singletons))
+	}
+}
+
+func TestSaveStoreLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	inst := Cellzome()
+	if err := inst.SaveStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "hypergraph.store")); err != nil {
+		t.Fatalf("missing hypergraph.store: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "hypergraph.txt")); err == nil {
+		t.Fatal("SaveStore also wrote hypergraph.txt")
+	}
+	got, err := LoadInstance(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.H.NumVertices() != inst.H.NumVertices() || got.H.NumEdges() != inst.H.NumEdges() || got.H.NumPins() != inst.H.NumPins() {
+		t.Fatalf("hypergraph shape changed: %v vs %v", got.H, inst.H)
+	}
+	for v := 0; v < inst.H.NumVertices(); v++ {
+		if got.H.VertexName(v) != inst.H.VertexName(v) {
+			t.Fatalf("vertex %d renamed across store round trip", v)
+		}
+	}
+	if len(got.BaitsUsed) != len(inst.BaitsUsed) || len(got.BaitsReported) != len(inst.BaitsReported) {
+		t.Errorf("baits: %d/%d vs %d/%d", len(got.BaitsUsed), len(got.BaitsReported), len(inst.BaitsUsed), len(inst.BaitsReported))
+	}
+	// When both formats are present the store wins; plant a decoy text
+	// file with a different shape to prove which one was read.
+	if err := os.WriteFile(filepath.Join(dir, "hypergraph.txt"), []byte("decoy: A B\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadInstance(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.H.NumVertices() != inst.H.NumVertices() {
+		t.Fatal("LoadInstance preferred hypergraph.txt over hypergraph.store")
+	}
+}
+
+func TestAtomicWritePartialFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old contents\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk exploded")
+	err := atomicWrite(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "half of the new conte"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("atomicWrite error = %v, want wrapped %v", err, boom)
+	}
+	// The old file is untouched and the temp file is gone.
+	b, rerr := os.ReadFile(path)
+	if rerr != nil || string(b) != "old contents\n" {
+		t.Fatalf("target file damaged by failed write: %q, %v", b, rerr)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("failed atomicWrite littered the directory: %v", entries)
 	}
 }
 

@@ -1,0 +1,76 @@
+package hypergraph
+
+import "fmt"
+
+// FromCSRArrays assembles a Hypergraph directly over prebuilt CSR
+// incidence arrays, aliasing the two pin slices rather than copying
+// them.  This is the bridge the storage layer uses to present a
+// memory-mapped store file as an ordinary Hypergraph: the offsets are
+// widened into O(|V|+|F|) resident ints, while the pin arrays — the
+// part that dominates at scale — stay wherever the caller keeps them
+// (for example an mmap'd file section).  Name slices are optional; nil
+// leaves that side unnamed, with the accessors returning "".
+//
+// Only shape consistency and name uniqueness are checked here.  The
+// arrays are otherwise trusted structurally; callers with untrusted
+// input should run csr.Validate (or Validate on the result) first, as
+// the store's Open path does.
+func FromCSRArrays(vOff, vAdj, eOff, eAdj []int32, vertexNames, edgeNames []string) (*Hypergraph, error) {
+	if len(vOff) == 0 || len(eOff) == 0 {
+		return nil, fmt.Errorf("hypergraph: offset arrays must have at least one entry")
+	}
+	nv, ne := len(vOff)-1, len(eOff)-1
+	if int(vOff[nv]) != len(vAdj) {
+		return nil, fmt.Errorf("hypergraph: vertex offsets end at %d, want %d", vOff[nv], len(vAdj))
+	}
+	if int(eOff[ne]) != len(eAdj) {
+		return nil, fmt.Errorf("hypergraph: edge offsets end at %d, want %d", eOff[ne], len(eAdj))
+	}
+	if len(vAdj) != len(eAdj) {
+		return nil, fmt.Errorf("hypergraph: pin counts disagree: %d vertex-side vs %d edge-side", len(vAdj), len(eAdj))
+	}
+	if vertexNames != nil && len(vertexNames) != nv {
+		return nil, fmt.Errorf("hypergraph: %d vertex names for %d vertices", len(vertexNames), nv)
+	}
+	if edgeNames != nil && len(edgeNames) != ne {
+		return nil, fmt.Errorf("hypergraph: %d edge names for %d hyperedges", len(edgeNames), ne)
+	}
+	h := &Hypergraph{
+		vOff: widenOffsets(vOff),
+		vAdj: vAdj,
+		eOff: widenOffsets(eOff),
+		eAdj: eAdj,
+	}
+	if vertexNames != nil {
+		h.vertexNames = vertexNames
+		h.vertexIndex = make(map[string]int, nv)
+		for v, name := range vertexNames {
+			if prev, dup := h.vertexIndex[name]; dup && name != "" {
+				return nil, fmt.Errorf("hypergraph: duplicate vertex name %q (vertices %d and %d)", name, prev, v)
+			}
+			h.vertexIndex[name] = v
+		}
+	}
+	if edgeNames != nil {
+		h.edgeNames = edgeNames
+		h.edgeIndex = make(map[string]int, ne)
+		for f, name := range edgeNames {
+			if name == "" {
+				continue
+			}
+			if prev, dup := h.edgeIndex[name]; dup {
+				return nil, fmt.Errorf("hypergraph: duplicate hyperedge name %q (edges %d and %d)", name, prev, f)
+			}
+			h.edgeIndex[name] = f
+		}
+	}
+	return h, nil
+}
+
+func widenOffsets(off []int32) []int {
+	out := make([]int, len(off))
+	for i, x := range off {
+		out[i] = int(x)
+	}
+	return out
+}

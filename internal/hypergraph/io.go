@@ -6,10 +6,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 
 	"hyperplex/internal/failpoint"
-	"hyperplex/internal/run"
 )
 
 // fpReadLine fires on every checkpoint of the text-format reader.
@@ -75,61 +73,19 @@ func ReadText(r io.Reader) (*Hypergraph, error) {
 // bounds how much of a hostile or oversized input is admitted.  On any
 // error it returns (nil, err).
 func ReadTextCtx(ctx context.Context, r io.Reader) (*Hypergraph, error) {
-	meter := run.MeterFrom(ctx)
-	if err := run.Tick(ctx, meter, 0); err != nil {
-		return nil, err
-	}
 	b := NewBuilder()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	lineNo := 0
-	pending, pendingBytes := 0, int64(0)
-	for sc.Scan() {
-		lineNo++
-		pending++
-		pendingBytes += int64(len(sc.Bytes())) + 1
-		if pending >= readCheckEvery {
-			if err := failpoint.Inject(fpReadLine); err != nil {
-				return nil, err
-			}
-			if err := run.Tick(ctx, meter, int64(pending)); err != nil {
-				return nil, err
-			}
-			if err := meter.Alloc(pendingBytes); err != nil {
-				return nil, err
-			}
-			pending, pendingBytes = 0, 0
-		}
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		if rest, ok := strings.CutPrefix(line, "vertex "); ok {
-			name := strings.TrimSpace(rest)
-			if name == "" {
-				return nil, fmt.Errorf("hypergraph: line %d: empty vertex name", lineNo)
-			}
+	err := ScanTextCtx(ctx, r, TextEvents{
+		ChargeBytes: true,
+		Vertex: func(name string) error {
 			b.AddVertex(name)
-			continue
-		}
-		name, members, ok := strings.Cut(line, ":")
-		if !ok {
-			return nil, fmt.Errorf("hypergraph: line %d: expected \"name: members...\"", lineNo)
-		}
-		name = strings.TrimSpace(name)
-		if name == "" {
-			return nil, fmt.Errorf("hypergraph: line %d: empty hyperedge name", lineNo)
-		}
-		b.AddEdge(name, strings.Fields(members)...)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("hypergraph: read: %w", err)
-	}
-	// Charge the tail that never reached a periodic checkpoint.
-	if err := run.Tick(ctx, meter, int64(pending)); err != nil {
-		return nil, err
-	}
-	if err := meter.Alloc(pendingBytes); err != nil {
+			return nil
+		},
+		Edge: func(name string, members []string) error {
+			b.AddEdge(name, members...)
+			return nil
+		},
+	})
+	if err != nil {
 		return nil, err
 	}
 	return b.Build()

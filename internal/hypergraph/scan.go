@@ -1,0 +1,114 @@
+package hypergraph
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"hyperplex/internal/failpoint"
+	"hyperplex/internal/run"
+)
+
+// TextEvents receives the records of the text format as ScanTextCtx
+// encounters them.  A nil callback skips its record kind, so a
+// counting pass can subscribe to only what it needs.
+type TextEvents struct {
+	// Vertex is called for each "vertex Name" isolated-vertex line.
+	Vertex func(name string) error
+	// Edge is called for each "name: members..." hyperedge line with
+	// the whitespace-split member names; duplicates are not yet
+	// collapsed.  The members slice is reused between calls and must
+	// not be retained.
+	Edge func(name string, members []string) error
+	// ChargeBytes charges the consumed input bytes against the
+	// budget's allocation estimate.  Callers that retain the parsed
+	// content (ReadTextCtx) set it; streaming consumers that keep only
+	// counters and names leave it false, so a MaxAlloc budget bounds
+	// resident memory rather than input size.
+	ChargeBytes bool
+}
+
+// ScanText parses the text format as a stream, delivering each record
+// to ev without building a Hypergraph.  ReadText and the out-of-core
+// store builder share this scanner, so both accept exactly the same
+// inputs with the same diagnostics.
+func ScanText(r io.Reader, ev TextEvents) error {
+	return ScanTextCtx(context.Background(), r, ev)
+}
+
+// ScanTextCtx is ScanText honoring cancellation, deadline and any
+// run.Budget attached to ctx, checked at entry and at bounded line
+// intervals (one step per line read).
+func ScanTextCtx(ctx context.Context, r io.Reader, ev TextEvents) error {
+	meter := run.MeterFrom(ctx)
+	if err := run.Tick(ctx, meter, 0); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	pending, pendingBytes := 0, int64(0)
+	for sc.Scan() {
+		lineNo++
+		pending++
+		pendingBytes += int64(len(sc.Bytes())) + 1
+		if pending >= readCheckEvery {
+			if err := failpoint.Inject(fpReadLine); err != nil {
+				return err
+			}
+			if err := run.Tick(ctx, meter, int64(pending)); err != nil {
+				return err
+			}
+			if ev.ChargeBytes {
+				if err := meter.Alloc(pendingBytes); err != nil {
+					return err
+				}
+			}
+			pending, pendingBytes = 0, 0
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "vertex "); ok {
+			name := strings.TrimSpace(rest)
+			if name == "" {
+				return fmt.Errorf("hypergraph: line %d: empty vertex name", lineNo)
+			}
+			if ev.Vertex != nil {
+				if err := ev.Vertex(name); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		name, members, ok := strings.Cut(line, ":")
+		if !ok {
+			return fmt.Errorf("hypergraph: line %d: expected \"name: members...\"", lineNo)
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return fmt.Errorf("hypergraph: line %d: empty hyperedge name", lineNo)
+		}
+		if ev.Edge != nil {
+			if err := ev.Edge(name, strings.Fields(members)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("hypergraph: read: %w", err)
+	}
+	// Charge the tail that never reached a periodic checkpoint.
+	if err := run.Tick(ctx, meter, int64(pending)); err != nil {
+		return err
+	}
+	if ev.ChargeBytes {
+		if err := meter.Alloc(pendingBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -198,7 +199,12 @@ func expandPatterns(dir string, patterns []string) ([]string, error) {
 	return dirs, nil
 }
 
-// goFilesIn lists the non-test Go files of a directory, sorted.
+// goFilesIn lists the non-test Go files of a directory that build on
+// the host platform, sorted.  Build constraints — `//go:build` lines
+// and GOOS/GOARCH file-name suffixes like `_linux.go` — are honored
+// via go/build, so a package with platform-split files (e.g. an mmap
+// implementation and its stub) type-checks as one coherent set
+// instead of redeclaring symbols.
 func goFilesIn(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -208,6 +214,9 @@ func goFilesIn(dir string) ([]string, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -46,6 +46,31 @@ func TestLoadExplicitDir(t *testing.T) {
 	}
 }
 
+// TestLoadHonorsBuildConstraints checks that platform-split files
+// (`//go:build` lines and `_GOOS.go` suffixes) load as one coherent
+// file set: internal/store pairs a linux mmap implementation with a
+// stub for everything else, and loading it must not report the
+// symbols as redeclared.
+func TestLoadHonorsBuildConstraints(t *testing.T) {
+	// Before constraint filtering this failed to type-check outright:
+	// mmap_linux.go and mmap_stub.go declare the same symbols.
+	prog, err := Load("../..", "./internal/store")
+	if err != nil {
+		t.Fatalf("loading internal/store: %v", err)
+	}
+	if len(prog.Pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(prog.Pkgs))
+	}
+	linux, stub := false, false
+	for name := range prog.Pkgs[0].Sources {
+		linux = linux || strings.HasSuffix(name, "mmap_linux.go")
+		stub = stub || strings.HasSuffix(name, "mmap_stub.go")
+	}
+	if linux == stub {
+		t.Errorf("loaded linux=%v stub=%v, want exactly one of the platform pair", linux, stub)
+	}
+}
+
 // TestLoadMissingDir checks the error path for a nonexistent pattern.
 func TestLoadMissingDir(t *testing.T) {
 	if _, err := Load(".", "./no/such/dir"); err == nil {

@@ -47,20 +47,53 @@ type Matrix struct {
 // NNZ returns the number of stored entries.
 func (m *Matrix) NNZ() int { return len(m.RowIdx) }
 
-// Read parses a Matrix Market file.  Supported headers:
-//
-//	%%MatrixMarket matrix coordinate real|integer|pattern general|symmetric
-//
-// Symmetric matrices are expanded (off-diagonal entries mirrored).
-func Read(r io.Reader) (*Matrix, error) {
-	return ReadCtx(context.Background(), r)
+// maxIndex caps the matrix dimensions a size line may declare: the
+// downstream representations (Matrix, the CSR substrate, the store
+// file format) index rows and columns with int32, so a larger
+// dimension must fail loudly here instead of truncating in the
+// int32(i-1) narrowings below.
+const maxIndex = 1<<31 - 1
+
+// Info is the parsed header of a Matrix Market coordinate file.
+type Info struct {
+	Rows, Cols int
+	// NNZ is the stored entry count promised by the size line (before
+	// symmetric expansion).
+	NNZ       int
+	Pattern   bool
+	Symmetric bool
 }
 
-// ReadCtx is Read honoring cancellation, deadline and any run.Budget
-// attached to ctx, checked at entry and at bounded entry intervals
-// (one step and a fixed per-entry allocation estimate are charged per
-// stored entry).  On any error it returns (nil, err).
-func ReadCtx(ctx context.Context, r io.Reader) (*Matrix, error) {
+// MatrixEvents receives the entries of a coordinate file as ScanCtx
+// parses them.
+type MatrixEvents struct {
+	// Size is called once with the validated size-line dimensions,
+	// before any Entry call, so consumers can size allocations.  Nil
+	// skips delivery.
+	Size func(rows, cols, nnz int) error
+	// Entry is called per stored entry with 0-based indices; for a
+	// symmetric file each off-diagonal entry is delivered twice,
+	// mirrored, exactly as Read expands it.  Nil skips delivery.
+	Entry func(i, j int32, v float64) error
+	// ChargeBytes charges a fixed per-entry allocation estimate
+	// against the budget.  Callers that retain every entry (ReadCtx)
+	// set it; streaming consumers leave it false.
+	ChargeBytes bool
+}
+
+// Scan parses a Matrix Market file as a stream, delivering entries to
+// ev without building a Matrix.  Read and the out-of-core store
+// builder share this scanner.  Supported headers:
+//
+//	%%MatrixMarket matrix coordinate real|integer|pattern general|symmetric
+func Scan(r io.Reader, ev MatrixEvents) (*Info, error) {
+	return ScanCtx(context.Background(), r, ev)
+}
+
+// ScanCtx is Scan honoring cancellation, deadline and any run.Budget
+// attached to ctx, checked at entry and at bounded line intervals (one
+// step per line).
+func ScanCtx(ctx context.Context, r io.Reader, ev MatrixEvents) (*Info, error) {
 	meter := run.MeterFrom(ctx)
 	if err := run.Tick(ctx, meter, 0); err != nil {
 		return nil, err
@@ -117,21 +150,20 @@ func ReadCtx(ctx context.Context, r io.Reader) (*Matrix, error) {
 	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
 		return nil, fmt.Errorf("mmio: bad size line %q", sizeLine)
 	}
-
-	// The header's nnz only sizes the preallocation; cap it so a lying
-	// size line cannot force a huge up-front allocation (real entries
-	// still grow the slices as they are read).
-	prealloc := nnz
-	if prealloc > 1<<20 {
-		prealloc = 1 << 20
+	if rows > maxIndex || cols > maxIndex {
+		return nil, fmt.Errorf("mmio: %d x %d dimensions overflow the int32 index space", rows, cols)
 	}
-	m := &Matrix{
-		Rows:    rows,
-		Cols:    cols,
-		RowIdx:  make([]int32, 0, prealloc),
-		ColIdx:  make([]int32, 0, prealloc),
-		Val:     make([]float64, 0, prealloc),
-		Pattern: field == "pattern",
+	info := &Info{
+		Rows:      rows,
+		Cols:      cols,
+		NNZ:       nnz,
+		Pattern:   field == "pattern",
+		Symmetric: sym == "symmetric",
+	}
+	if ev.Size != nil {
+		if err := ev.Size(rows, cols, nnz); err != nil {
+			return nil, err
+		}
 	}
 	read, scanned := 0, 0
 	for sc.Scan() {
@@ -150,7 +182,7 @@ func ReadCtx(ctx context.Context, r io.Reader) (*Matrix, error) {
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
-		if read > 0 && read%readCheckEvery == 0 {
+		if ev.ChargeBytes && read > 0 && read%readCheckEvery == 0 {
 			if err := meter.Alloc(readCheckEvery * entryBytes); err != nil {
 				return nil, err
 			}
@@ -179,13 +211,15 @@ func ReadCtx(ctx context.Context, r io.Reader) (*Matrix, error) {
 				return nil, fmt.Errorf("mmio: entry %d bad value: %q", read+1, line)
 			}
 		}
-		m.RowIdx = append(m.RowIdx, int32(i-1))
-		m.ColIdx = append(m.ColIdx, int32(j-1))
-		m.Val = append(m.Val, v)
-		if sym == "symmetric" && i != j {
-			m.RowIdx = append(m.RowIdx, int32(j-1))
-			m.ColIdx = append(m.ColIdx, int32(i-1))
-			m.Val = append(m.Val, v)
+		if ev.Entry != nil {
+			if err := ev.Entry(int32(i-1), int32(j-1), v); err != nil {
+				return nil, err
+			}
+			if info.Symmetric && i != j {
+				if err := ev.Entry(int32(j-1), int32(i-1), v); err != nil {
+					return nil, err
+				}
+			}
 		}
 		read++
 	}
@@ -195,6 +229,37 @@ func ReadCtx(ctx context.Context, r io.Reader) (*Matrix, error) {
 	if read != nnz {
 		return nil, fmt.Errorf("mmio: read %d entries, header promised %d", read, nnz)
 	}
+	return info, nil
+}
+
+// Read parses a Matrix Market file.  Supported headers:
+//
+//	%%MatrixMarket matrix coordinate real|integer|pattern general|symmetric
+//
+// Symmetric matrices are expanded (off-diagonal entries mirrored).
+func Read(r io.Reader) (*Matrix, error) {
+	return ReadCtx(context.Background(), r)
+}
+
+// ReadCtx is Read honoring cancellation, deadline and any run.Budget
+// attached to ctx, checked at entry and at bounded entry intervals
+// (one step and a fixed per-entry allocation estimate are charged per
+// stored entry).  On any error it returns (nil, err).
+func ReadCtx(ctx context.Context, r io.Reader) (*Matrix, error) {
+	m := &Matrix{}
+	info, err := ScanCtx(ctx, r, MatrixEvents{
+		ChargeBytes: true,
+		Entry: func(i, j int32, v float64) error {
+			m.RowIdx = append(m.RowIdx, i)
+			m.ColIdx = append(m.ColIdx, j)
+			m.Val = append(m.Val, v)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.Rows, m.Cols, m.Pattern = info.Rows, info.Cols, info.Pattern
 	return m, nil
 }
 

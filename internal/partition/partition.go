@@ -44,12 +44,71 @@ type Shard struct {
 // hyperedges by shards.  Every vertex has exactly one owner; every
 // hyperedge is owned by the shard of its first (lowest-ID) member, so
 // edge ownership follows vertex ownership deterministically.
+//
+// Exactly one of H and C backs the incidence structure: Build fills H,
+// BuildCSR fills C.  The CSR backing serves the same ascending
+// adjacency rows (csr.FromH preserves row order), so the two paths
+// partition identically; it exists so a memory-mapped store file can
+// be sharded without first rebuilding a Hypergraph in RAM.
 type Partition struct {
 	H           *hypergraph.Hypergraph
+	C           *csr.CSR
 	VertexOwner []int32 // shard index per vertex
 	EdgeOwner   []int32 // shard index per hyperedge (empty edges → shard 0)
 	Shards      []Shard
 	CutEdges    []int32 // all hyperedges spanning more than one shard
+}
+
+// The accessors below dispatch to whichever backing is present, so the
+// block balancing, assembly, and materialization code is written once.
+
+func (p *Partition) numVertices() int {
+	if p.C != nil {
+		return p.C.NumVertices()
+	}
+	return p.H.NumVertices()
+}
+
+func (p *Partition) numEdges() int {
+	if p.C != nil {
+		return p.C.NumEdges()
+	}
+	return p.H.NumEdges()
+}
+
+func (p *Partition) numPins() int {
+	if p.C != nil {
+		return p.C.NumPins()
+	}
+	return p.H.NumPins()
+}
+
+func (p *Partition) vertexDegree(v int) int {
+	if p.C != nil {
+		return int(p.C.VertexDegree(int32(v)))
+	}
+	return p.H.VertexDegree(v)
+}
+
+func (p *Partition) edgeDegree(f int) int {
+	if p.C != nil {
+		return int(p.C.EdgeDegree(int32(f)))
+	}
+	return p.H.EdgeDegree(f)
+}
+
+func (p *Partition) edgeVertices(f int) []int32 {
+	if p.C != nil {
+		return p.C.EdgeVertices(int32(f))
+	}
+	return p.H.Vertices(f)
+}
+
+func (p *Partition) vertexEdges(v int) []int32 {
+	if p.C != nil {
+		return p.C.VertexEdges(int32(v))
+	}
+	return p.H.Edges(v)
 }
 
 // NumShards returns the number of shards.
@@ -87,6 +146,33 @@ func Build(h *hypergraph.Hypergraph, shards int) *Partition {
 // attached to ctx, checked at bounded intervals throughout the
 // construction.  On any error it returns (nil, err).
 func BuildCtx(ctx context.Context, h *hypergraph.Hypergraph, shards int) (*Partition, error) {
+	return buildCtx(ctx, &Partition{H: h}, shards)
+}
+
+// BuildCSR partitions a bare CSR — typically the mapped arrays of a
+// store file — into the requested number of shards.  The result has no
+// Hypergraph backing (H is nil): Materialize is unavailable, but
+// MaterializeCSR, RemoteEdges, and the descriptor round trip all work,
+// which is everything the sharded peeler needs.
+func BuildCSR(c *csr.CSR, shards int) *Partition {
+	p, err := BuildCSRCtx(context.Background(), c, shards)
+	if err != nil {
+		// Only reachable through an armed failpoint: the background
+		// context cannot be cancelled and carries no budget.
+		panic(err)
+	}
+	return p
+}
+
+// BuildCSRCtx is BuildCSR honoring cancellation, deadline and any
+// run.Budget attached to ctx.  On any error it returns (nil, err).
+func BuildCSRCtx(ctx context.Context, c *csr.CSR, shards int) (*Partition, error) {
+	return buildCtx(ctx, &Partition{C: c}, shards)
+}
+
+// buildCtx runs the shared block balancing over a Partition shell that
+// already carries its backing (H or C).
+func buildCtx(ctx context.Context, p *Partition, shards int) (*Partition, error) {
 	meter := run.MeterFrom(ctx)
 	// Entry checkpoint: an already-cancelled context fails before any
 	// work, even on inputs too small to reach a periodic checkpoint.
@@ -96,15 +182,12 @@ func BuildCtx(ctx context.Context, h *hypergraph.Hypergraph, shards int) (*Parti
 	if err := failpoint.Inject(fpBuild); err != nil {
 		return nil, fmt.Errorf("partition: build: %w", err)
 	}
-	nv, ne := h.NumVertices(), h.NumEdges()
+	nv, ne := p.numVertices(), p.numEdges()
 	shards = NormalizeShards(shards, nv)
 
-	p := &Partition{
-		H:           h,
-		VertexOwner: make([]int32, nv),
-		EdgeOwner:   make([]int32, ne),
-		Shards:      make([]Shard, shards),
-	}
+	p.VertexOwner = make([]int32, nv)
+	p.EdgeOwner = make([]int32, ne)
+	p.Shards = make([]Shard, shards)
 	for s := range p.Shards {
 		p.Shards[s].Index = s
 	}
@@ -113,7 +196,7 @@ func BuildCtx(ctx context.Context, h *hypergraph.Hypergraph, shards int) (*Parti
 	// a block when the remaining vertices exactly match the remaining
 	// shards guarantees every shard owns at least one vertex (shards ≤
 	// nv after normalization keeps that reachable).
-	target := (nv + h.NumPins() + shards - 1) / shards
+	target := (nv + p.numPins() + shards - 1) / shards
 	s, acc := 0, 0
 	for v := 0; v < nv; v++ {
 		if v%buildCheckEvery == 0 {
@@ -123,7 +206,7 @@ func BuildCtx(ctx context.Context, h *hypergraph.Hypergraph, shards int) (*Parti
 		}
 		p.VertexOwner[v] = int32(s)
 		p.Shards[s].Vertices = append(p.Shards[s].Vertices, int32(v))
-		acc += 1 + h.VertexDegree(v)
+		acc += 1 + p.vertexDegree(v)
 		if rem := shards - s - 1; rem > 0 && (acc >= target || nv-v-1 == rem) {
 			s++
 			acc = 0
@@ -230,8 +313,7 @@ func FromDescsCtx(ctx context.Context, h *hypergraph.Hypergraph, descs []Desc) (
 // cut edges, frontiers — from an already-filled vertex block
 // assignment.
 func (p *Partition) assemble(ctx context.Context, meter *run.Meter) error {
-	h := p.H
-	nv, ne := h.NumVertices(), h.NumEdges()
+	nv, ne := p.numVertices(), p.numEdges()
 
 	// Anchor each hyperedge at its first member and record cut edges.
 	for f := 0; f < ne; f++ {
@@ -240,7 +322,7 @@ func (p *Partition) assemble(ctx context.Context, meter *run.Meter) error {
 				return err
 			}
 		}
-		members := h.Vertices(f)
+		members := p.edgeVertices(f)
 		owner := int32(0)
 		if len(members) > 0 {
 			owner = p.VertexOwner[members[0]]
@@ -279,7 +361,7 @@ func (p *Partition) assemble(ctx context.Context, meter *run.Meter) error {
 					return err
 				}
 			}
-			for _, v := range h.Vertices(int(f)) {
+			for _, v := range p.edgeVertices(int(f)) {
 				if p.VertexOwner[v] != int32(s) && frontierMark[v] != int32(s) {
 					frontierMark[v] = int32(s)
 					sh.Frontier = append(sh.Frontier, v)
@@ -296,6 +378,10 @@ func (p *Partition) assemble(ctx context.Context, meter *run.Meter) error {
 // maps give old-ID → new-ID for vertices and hyperedges, as
 // hypergraph.Sub defines them.
 func (p *Partition) Materialize(s int) (*hypergraph.Hypergraph, map[int]int, map[int]int) {
+	if p.H == nil {
+		//hyperplexvet:ignore nopanic API misuse invariant: a BuildCSR partition has no named-vertex backing to materialize from, and the signature has no error slot
+		panic("partition: Materialize needs a Hypergraph backing; a BuildCSR partition only supports MaterializeCSR")
+	}
 	sh := &p.Shards[s]
 	keepV := make([]bool, p.H.NumVertices())
 	for _, v := range sh.Vertices {
@@ -334,18 +420,18 @@ func (p *Partition) MaterializeCSR(s int) *csr.CSR {
 
 	eOff := make([]int32, ne+1)
 	for i, f := range sh.Edges {
-		eOff[i+1] = eOff[i] + int32(p.H.EdgeDegree(int(f)))
+		eOff[i+1] = eOff[i] + int32(p.edgeDegree(int(f)))
 	}
 	// Scatter the local IDs into a global-indexed lookup: O(|V|) zeroed
 	// allocation plus O(1) per pin beats a binary search per pin.
-	local := make([]int32, p.H.NumVertices())
+	local := make([]int32, p.numVertices())
 	for j, v := range keep {
 		local[v] = int32(j)
 	}
 	eAdj := make([]int32, eOff[ne])
 	for i, f := range sh.Edges {
 		row := eAdj[eOff[i]:eOff[i]]
-		for _, v := range p.H.Vertices(int(f)) {
+		for _, v := range p.edgeVertices(int(f)) {
 			// Owned hyperedges lose no members: every member is owned or
 			// on the frontier, so the lookup always hits.
 			row = append(row, local[v])
@@ -393,7 +479,7 @@ func (p *Partition) RemoteEdges(s int) (off, adj []int32) {
 	off = make([]int32, len(sh.Vertices)+1)
 	total := int32(0)
 	for i, v := range sh.Vertices {
-		for _, f := range p.H.Edges(int(v)) {
+		for _, f := range p.vertexEdges(int(v)) {
 			if p.EdgeOwner[f] != owner {
 				total++
 			}
@@ -403,7 +489,7 @@ func (p *Partition) RemoteEdges(s int) (off, adj []int32) {
 	adj = make([]int32, total)
 	k := 0
 	for _, v := range sh.Vertices {
-		for _, f := range p.H.Edges(int(v)) {
+		for _, f := range p.vertexEdges(int(v)) {
 			if p.EdgeOwner[f] != owner {
 				adj[k] = f
 				k++

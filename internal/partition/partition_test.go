@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"slices"
 	"testing"
 
+	"hyperplex/internal/csr"
 	"hyperplex/internal/gen"
 	"hyperplex/internal/hypergraph"
 	"hyperplex/internal/partition"
@@ -420,4 +422,54 @@ func TestFromDescsCtxCancelled(t *testing.T) {
 	if _, err := partition.FromDescsCtx(ctx, h, p.Descs()); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled rebuild: err = %v, want context.Canceled", err)
 	}
+}
+
+// TestBuildCSRMatchesBuild pins the CSR-backed partition to the
+// Hypergraph-backed one: same owners, same shards, same materialized
+// blocks, same remote rows — so a store-mapped CSR shards exactly like
+// the hypergraph it was written from.
+func TestBuildCSRMatchesBuild(t *testing.T) {
+	for _, h := range instances(t) {
+		for _, shards := range []int{1, 2, 3, 7} {
+			want := partition.Build(h, shards)
+			got := partition.BuildCSR(csr.FromH(h), shards)
+			if !slices.Equal(got.VertexOwner, want.VertexOwner) || !slices.Equal(got.EdgeOwner, want.EdgeOwner) {
+				t.Fatalf("%v at %d shards: CSR-backed ownership differs", h, shards)
+			}
+			if !slices.Equal(got.CutEdges, want.CutEdges) {
+				t.Fatalf("%v at %d shards: CSR-backed cut edges differ", h, shards)
+			}
+			for s := range want.Shards {
+				ws, gs := &want.Shards[s], &got.Shards[s]
+				if !slices.Equal(gs.Vertices, ws.Vertices) || !slices.Equal(gs.Edges, ws.Edges) ||
+					!slices.Equal(gs.Frontier, ws.Frontier) || !slices.Equal(gs.Cut, ws.Cut) || gs.Pins != ws.Pins {
+					t.Fatalf("%v at %d shards: shard %d differs", h, shards, s)
+				}
+				wc, gc := want.MaterializeCSR(s), got.MaterializeCSR(s)
+				if !slices.Equal(gc.VOff, wc.VOff) || !slices.Equal(gc.VAdj, wc.VAdj) ||
+					!slices.Equal(gc.EOff, wc.EOff) || !slices.Equal(gc.EAdj, wc.EAdj) ||
+					!slices.Equal(gc.VertexID, wc.VertexID) || !slices.Equal(gc.EdgeID, wc.EdgeID) {
+					t.Fatalf("%v at %d shards: MaterializeCSR(%d) differs", h, shards, s)
+				}
+				wOff, wAdj := want.RemoteEdges(s)
+				gOff, gAdj := got.RemoteEdges(s)
+				if !slices.Equal(gOff, wOff) || !slices.Equal(gAdj, wAdj) {
+					t.Fatalf("%v at %d shards: RemoteEdges(%d) differs", h, shards, s)
+				}
+			}
+		}
+	}
+}
+
+// TestMaterializeNeedsH pins the contract that a CSR-backed partition
+// cannot materialize named sub-hypergraphs.
+func TestMaterializeNeedsH(t *testing.T) {
+	h := gen.RandomHypergraph(20, 10, 3, xrand.New(7))
+	p := partition.BuildCSR(csr.FromH(h), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Materialize on a CSR-backed partition did not panic")
+		}
+	}()
+	p.Materialize(0)
 }

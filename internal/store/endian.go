@@ -1,0 +1,22 @@
+package store
+
+import "unsafe"
+
+// nativeLittleEndian reports whether the running architecture stores
+// integers little-endian, in which case a mapped int32 section can be
+// viewed in place.  Big-endian hosts always take the os.ReadAt loader,
+// which decodes the little-endian file format explicitly.
+var nativeLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// int32View reinterprets a mapped little-endian section as []int32 in
+// place.  Callers guarantee b is 4-byte aligned (sections are page-
+// aligned) and that the host is little-endian.
+func int32View(b []byte) []int32 {
+	if len(b) == 0 {
+		return []int32{}
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}

@@ -1,0 +1,43 @@
+//go:build linux
+
+package store
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build can memory-map store files.
+const mmapSupported = true
+
+// mapFile maps the whole file read-only and shared.  The mapping is
+// page-granular, which is why the format page-aligns its sections.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size > math.MaxInt {
+		return nil, fmt.Errorf("store: %d-byte file exceeds the address space", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap: %w", err)
+	}
+	return b, nil
+}
+
+func unmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}
+
+// mapFileRW maps the file read-write and shared, for the streaming
+// builder's scatter pass over a freshly created temp file.
+func mapFileRW(f *os.File, size int64) ([]byte, error) {
+	if size > math.MaxInt {
+		return nil, fmt.Errorf("store: %d-byte file exceeds the address space", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap: %w", err)
+	}
+	return b, nil
+}

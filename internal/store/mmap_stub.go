@@ -1,0 +1,22 @@
+//go:build !linux
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this build can memory-map store files.
+// Non-linux builds always use the portable os.ReadAt loader.
+const mmapSupported = false
+
+func mapFile(*os.File, int64) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func unmapFile([]byte) error { return nil }
+
+func mapFileRW(*os.File, int64) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
